@@ -1,0 +1,211 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation on the GPU simulator, and runs Bechamel micro-benchmarks of
+   each experiment driver.
+
+   Usage:
+     dune exec bench/main.exe                 -- everything, quick sizes
+     dune exec bench/main.exe -- --only table1 --only fig4
+     dune exec bench/main.exe -- --full       -- larger scaled instances
+     dune exec bench/main.exe -- --no-micro   -- skip Bechamel timings *)
+
+module Experiments = Hextile_experiments.Experiments
+open Hextile_gpusim
+open Hextile_stencils
+
+let section title = Fmt.pr "@.===== %s =====@." title
+
+let fig1 () =
+  section "Figure 1: Jacobi 2D stencil (frontend input)";
+  print_string Experiments.figure1_source;
+  match
+    Hextile_frontend.Front.parse_string ~name:"jacobi2d" Experiments.figure1_source
+  with
+  | Ok p ->
+      Fmt.pr "parsed and lowered: %d statement(s), params %a@."
+        (List.length p.stmts)
+        Fmt.(list ~sep:(any ", ") string)
+        p.params
+  | Error m -> Fmt.pr "frontend error: %s@." m
+
+let fig2 () =
+  section "Figure 2: generated PTX-style core";
+  print_string (Experiments.figure2_text ())
+
+let fig3 () =
+  section "Figure 3: opposite dependence cone";
+  print_string (Experiments.figure3_text ())
+
+let fig4 () =
+  section "Figure 4: hexagonal tile shape";
+  print_string (Experiments.figure4_text ())
+
+let fig5 () =
+  section "Figure 5: hexagonal tiling pattern (phases 0/1)";
+  print_string (Experiments.figure5_text ())
+
+let fig6 () =
+  section "Figure 6: hybrid n-dimensional schedule";
+  print_string (Experiments.figure6_text ())
+
+let table3 () =
+  section "Table 3: stencil characteristics";
+  print_string (Experiments.table3_text ())
+
+let table1 ~quick () =
+  section "Table 1: GStencils/second on (scaled) GTX 470";
+  let rows = Experiments.table12 ~quick Device.gtx470 in
+  Experiments.pp_table12 Device.gtx470 Fmt.stdout rows;
+  print_string (Experiments.patus_note ~quick Device.gtx470)
+
+let table2 ~quick () =
+  section "Table 2: GStencils/second on (scaled) NVS 5200M";
+  let rows = Experiments.table12 ~quick Device.nvs5200m in
+  Experiments.pp_table12 Device.nvs5200m Fmt.stdout rows
+
+let tables45 ~quick () =
+  section "Table 4: shared-memory optimization ladder (heat 3D, GFLOPS)";
+  let gtx = Experiments.ladder ~quick Device.gtx470 in
+  let nvs = Experiments.ladder ~quick Device.nvs5200m in
+  Experiments.pp_table4 Fmt.stdout [ (Device.nvs5200m, nvs); (Device.gtx470, gtx) ];
+  section "Table 5: performance counters (heat 3D ladder)";
+  Experiments.pp_table5 Fmt.stdout (Device.gtx470, gtx)
+
+let tilesize () =
+  section "Section 3.7: tile-size selection model";
+  print_string (Experiments.tile_size_sweep_text ())
+
+let diamond () =
+  section "Section 5: diamond vs hexagonal tile regularity";
+  print_string (Experiments.diamond_vs_hex_text ())
+
+let split1d ~quick () =
+  section "1D degenerate case: hexagonal vs split tiling";
+  print_string (Experiments.split1d_text ~quick Device.gtx470)
+
+let ablate ~quick () =
+  section "Ablation: time-tile height h (hybrid, heat 2D, GTX 470)";
+  List.iter
+    (fun (h, g) -> Fmt.pr "h=%d (%d time steps/tile): %.2f GStencils/s@." h ((2 * h) + 2) g)
+    (Experiments.h_sweep ~quick Device.gtx470 Hextile_stencils.Suite.heat2d)
+
+(* ---- Bechamel micro-benchmarks: one per table/figure driver ---------- *)
+
+let micro () =
+  section "Bechamel micro-benchmarks (tiny instances)";
+  let open Bechamel in
+  let tiny2 = [ ("N", 64); ("T", 8) ] and tiny3 = [ ("N", 16); ("T", 4) ] in
+  let run s p env () =
+    ignore (Experiments.run_scheme ~verify:false s p env Device.gtx470)
+  in
+  let tests =
+    [
+      Test.make ~name:"fig2:ptx-core"
+        (Staged.stage (fun () -> ignore (Experiments.figure2_text ())));
+      Test.make ~name:"fig3:dependence-cone"
+        (Staged.stage (fun () -> ignore (Experiments.figure3_text ())));
+      Test.make ~name:"fig4:hexagon-shape"
+        (Staged.stage (fun () -> ignore (Experiments.figure4_text ())));
+      Test.make ~name:"fig5:tiling-pattern"
+        (Staged.stage (fun () -> ignore (Experiments.figure5_text ())));
+      Test.make ~name:"fig6:hybrid-schedule"
+        (Staged.stage (fun () -> ignore (Experiments.figure6_text ())));
+      Test.make ~name:"table1:hybrid-heat2d"
+        (Staged.stage (run Experiments.Hybrid Suite.heat2d tiny2));
+      Test.make ~name:"table1:ppcg-heat2d"
+        (Staged.stage (run Experiments.Ppcg Suite.heat2d tiny2));
+      Test.make ~name:"table2:overtile-heat2d"
+        (Staged.stage (run Experiments.Overtile Suite.heat2d tiny2));
+      Test.make ~name:"table3:characterize"
+        (Staged.stage (fun () -> ignore (Experiments.table3_text ())));
+      Test.make ~name:"table4:hybrid-heat3d"
+        (Staged.stage (run Experiments.Hybrid Suite.heat3d tiny3));
+      Test.make ~name:"table5:hybrid-heat3d-noshared"
+        (Staged.stage (fun () ->
+             let config =
+               {
+                 (Hextile_schemes.Hybrid_exec.default_config Suite.heat3d) with
+                 strategy = Hextile_schemes.Hybrid_exec.strategy_of_step 'a';
+               }
+             in
+             ignore
+               (Hextile_schemes.Hybrid_exec.run ~config Suite.heat3d
+                  (fun x -> List.assoc x tiny3)
+                  Device.gtx470)));
+      Test.make ~name:"tilesize:tile-stats"
+        (Staged.stage (fun () ->
+             let t =
+               Hextile_tiling.Hybrid.make Suite.heat3d ~h:2 ~w:[| 7; 10; 32 |]
+             in
+             ignore (Hextile_tiling.Tile_size.tile_stats t)));
+    ]
+  in
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) ~kde:None () in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      let est = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name res ->
+          match Analyze.OLS.estimates res with
+          | Some (t :: _) -> Fmt.pr "%-34s %10.3f ms/run@." name (t /. 1e6)
+          | _ -> Fmt.pr "%-34s (no estimate)@." name)
+        est)
+    tests
+
+let () =
+  let only = ref [] and quick = ref true and do_micro = ref true in
+  let rec parse = function
+    | [] -> ()
+    | "--only" :: x :: rest ->
+        only := x :: !only;
+        parse rest
+    | "--full" :: rest ->
+        quick := false;
+        parse rest
+    | "--no-micro" :: rest ->
+        do_micro := false;
+        parse rest
+    | x :: rest ->
+        Fmt.epr "unknown argument %s (expected --only <id> | --full | --no-micro)@." x;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let quick = !quick in
+  let all =
+    [
+      ("fig1", fig1);
+      ("fig2", fig2);
+      ("fig3", fig3);
+      ("fig4", fig4);
+      ("fig5", fig5);
+      ("fig6", fig6);
+      ("table3", table3);
+      ("tilesize", tilesize);
+      ("ablate", ablate ~quick);
+      ("diamond", diamond);
+      ("split1d", split1d ~quick);
+      ("table1", table1 ~quick);
+      ("table2", table2 ~quick);
+      ("table45", tables45 ~quick);
+      ("micro", micro);
+    ]
+  in
+  let selected =
+    match !only with
+    | [] -> List.filter (fun id -> id <> "micro") (List.map fst all)
+    | l ->
+        List.concat_map
+          (fun x -> if x = "table4" || x = "table5" then [ "table45" ] else [ x ])
+          (List.rev l)
+  in
+  List.iter
+    (fun id ->
+      match List.assoc_opt id all with
+      | Some f -> f ()
+      | None -> Fmt.epr "unknown experiment id %s@." id)
+    selected;
+  if !do_micro && !only = [] then micro ()

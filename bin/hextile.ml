@@ -1,0 +1,210 @@
+(* hextile — hybrid hexagonal/classical tiling for GPUs, command line.
+
+   Subcommands: parse, deps, tile, codegen, run, tilesize, list. *)
+
+open Cmdliner
+module Experiments = Hextile_experiments.Experiments
+open Hextile_ir
+open Hextile_deps
+open Hextile_tiling
+open Hextile_gpusim
+open Hextile_schemes
+
+(* ---- common arguments -------------------------------------------------- *)
+
+let load ~file ~builtin =
+  match (file, builtin) with
+  | Some f, None -> Hextile_frontend.Front.parse_file f
+  | None, Some b -> (
+      match Hextile_stencils.Suite.find b with
+      | p -> Ok p
+      | exception Not_found ->
+          Error
+            (Fmt.str "unknown builtin %s (try: %s)" b
+               (String.concat ", "
+                  (List.map
+                     (fun (p : Stencil.t) -> p.name)
+                     Hextile_stencils.Suite.all))))
+  | Some _, Some _ -> Error "give either FILE or --builtin, not both"
+  | None, None -> Error "give a FILE or --builtin NAME"
+
+let file_arg =
+  Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"C-subset stencil source.")
+
+let builtin_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "builtin"; "b" ] ~docv:"NAME" ~doc:"Use a built-in benchmark stencil.")
+
+let n_arg =
+  Arg.(value & opt int 64 & info [ "N" ] ~doc:"Grid extent parameter N.")
+
+let t_arg =
+  Arg.(value & opt int 16 & info [ "T" ] ~doc:"Time steps parameter T.")
+
+let h_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "height"; "H" ] ~doc:"Hexagon height parameter h.")
+
+let w_arg =
+  Arg.(
+    value
+    & opt (some (list int)) None
+    & info [ "widths"; "w" ] ~docv:"W0,W1,..." ~doc:"Tile widths, one per spatial dimension.")
+
+let device_arg =
+  Arg.(
+    value
+    & opt (enum [ ("gtx470", Device.gtx470); ("nvs5200", Device.nvs5200m) ]) Device.gtx470
+    & info [ "device" ] ~doc:"Device model: gtx470 or nvs5200.")
+
+let env_of ~n ~t p = match p with "N" -> n | "T" -> t | _ -> raise Not_found
+
+let with_prog file builtin k =
+  match load ~file ~builtin with
+  | Error m ->
+      Fmt.epr "hextile: %s@." m;
+      1
+  | Ok prog -> k prog
+
+let tiling_of prog h w =
+  let config = Hybrid_exec.default_config prog in
+  let h = Option.value ~default:config.h h in
+  let w = match w with Some l -> Array.of_list l | None -> config.w in
+  (h, w, Hybrid.make prog ~h ~w)
+
+(* ---- subcommands ------------------------------------------------------- *)
+
+let parse_cmd =
+  let run file builtin =
+    with_prog file builtin (fun prog ->
+        Fmt.pr "%a@." Stencil.pp prog;
+        0)
+  in
+  Cmd.v (Cmd.info "parse" ~doc:"Parse a stencil program and print its IR.")
+    Term.(const run $ file_arg $ builtin_arg)
+
+let deps_cmd =
+  let run file builtin =
+    with_prog file builtin (fun prog ->
+        let deps = Dep.analyze prog in
+        List.iter (fun d -> Fmt.pr "%a@." Dep.pp d) deps;
+        let dims = Stencil.spatial_dims prog in
+        for d = 0 to dims - 1 do
+          Fmt.pr "dim %d: %a@." d Cone.pp (Cone.of_deps deps ~dim:d)
+        done;
+        0)
+  in
+  Cmd.v (Cmd.info "deps" ~doc:"Print dependences and per-dimension cones.")
+    Term.(const run $ file_arg $ builtin_arg)
+
+let tile_cmd =
+  let run file builtin h w n t =
+    with_prog file builtin (fun prog ->
+        let h, w, tiling = tiling_of prog h w in
+        Fmt.pr "h=%d w=(%a) %a@." h Fmt.(array ~sep:(any ",") int) w Cone.pp tiling.cone;
+        Fmt.pr "%a@.%s@." Hexagon.pp tiling.hex (Render.tile tiling.hex);
+        Fmt.pr "%a@." Tile_size.pp_stats (Tile_size.tile_stats tiling);
+        (match Hybrid.check_legality tiling (env_of ~n ~t) with
+        | Ok () -> Fmt.pr "legality check (N=%d, T=%d): OK@." n t
+        | Error m -> Fmt.pr "legality check FAILED: %s@." m);
+        0)
+  in
+  Cmd.v
+    (Cmd.info "tile" ~doc:"Build the hybrid schedule, show the tile, check legality.")
+    Term.(const run $ file_arg $ builtin_arg $ h_arg $ w_arg $ n_arg $ t_arg)
+
+let codegen_cmd =
+  let run file builtin h w =
+    with_prog file builtin (fun prog ->
+        let _, _, tiling = tiling_of prog h w in
+        print_string (Hextile_codegen.Cuda_emit.host_and_kernels tiling prog);
+        print_newline ();
+        List.iter
+          (fun (s : Stencil.stmt) ->
+            let l = Hextile_codegen.Ptx_emit.core_listing prog s in
+            Fmt.pr "// %s core: %d loads, %d ops@.%s@." s.sname l.loads l.arith l.text)
+          prog.stmts;
+        0)
+  in
+  Cmd.v
+    (Cmd.info "codegen" ~doc:"Emit CUDA-style host/kernels and PTX-style cores.")
+    Term.(const run $ file_arg $ builtin_arg $ h_arg $ w_arg)
+
+let scheme_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("hybrid", Experiments.Hybrid);
+             ("ppcg", Experiments.Ppcg);
+             ("par4all", Experiments.Par4all);
+             ("overtile", Experiments.Overtile);
+             ("patus", Experiments.Patus);
+           ])
+        Experiments.Hybrid
+    & info [ "scheme" ] ~doc:"Tiling scheme to execute.")
+
+let run_cmd =
+  let run file builtin scheme dev n t =
+    with_prog file builtin (fun prog ->
+        let env = [ ("N", n); ("T", t) ] in
+        match Experiments.run_scheme scheme prog env dev with
+        | r ->
+            Fmt.pr "%s on %s, N=%d T=%d: verified OK@." r.scheme prog.name n t;
+            Fmt.pr "updates            %d@." r.updates;
+            Fmt.pr "GStencils/s        %.3f@." (Common.gstencils_per_s r);
+            Fmt.pr "kernel time        %.3e s (+ %.3e s transfer)@." r.kernel_time
+              r.transfer_time;
+            Fmt.pr "%a@." Counters.pp r.counters;
+            0
+        | exception Failure m ->
+            Fmt.epr "hextile: %s@." m;
+            1)
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Simulate a scheme on the GPU model and verify against the reference.")
+    Term.(const run $ file_arg $ builtin_arg $ scheme_arg $ device_arg $ n_arg $ t_arg)
+
+let tilesize_cmd =
+  let run file builtin =
+    with_prog file builtin (fun prog ->
+        let dims = Stencil.spatial_dims prog in
+        let wi = List.init (dims - 1) (fun d -> if d = dims - 2 then [ 32; 64 ] else [ 4; 6; 10 ]) in
+        (match
+           Tile_size.select prog ~h_candidates:[ 1; 2; 3; 5 ]
+             ~w0_candidates:[ 2; 4; 7; 8 ] ~wi_candidates:wi
+             ~shared_mem_floats:(48 * 1024 / 4)
+             ~require_multiple:(if dims > 1 then 32 else 1) ()
+         with
+        | Some c -> Fmt.pr "selected %a@." Tile_size.pp_choice c
+        | None -> Fmt.pr "no feasible tile size in the candidate grid@.");
+        0)
+  in
+  Cmd.v
+    (Cmd.info "tilesize" ~doc:"Select tile sizes by load-to-compute ratio (Sec 3.7).")
+    Term.(const run $ file_arg $ builtin_arg)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (p : Stencil.t) ->
+        Fmt.pr "%-12s %dD, %d statement(s)@." p.name (Stencil.spatial_dims p)
+          (List.length p.stmts))
+      Hextile_stencils.Suite.all;
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List built-in benchmark stencils.") Term.(const run $ const ())
+
+let () =
+  let doc = "hybrid hexagonal/classical tiling for GPUs (CGO 2014), in OCaml" in
+  let info = Cmd.info "hextile" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ parse_cmd; deps_cmd; tile_cmd; codegen_cmd; run_cmd; tilesize_cmd; list_cmd ]))

@@ -1,0 +1,34 @@
+(* Codegen tour: emit the CUDA-style host/kernel code and the PTX-style
+   unrolled core for a 2D and a multi-statement stencil.
+
+   Run with: dune exec examples/codegen_tour.exe *)
+
+open Hextile_stencils
+open Hextile_tiling
+open Hextile_codegen
+
+let () =
+  let prog = Suite.heat2d in
+  let t = Hybrid.make prog ~h:3 ~w:[| 4; 32 |] in
+  Fmt.pr "==== CUDA-style code for %s ====@.%s@." prog.name
+    (Cuda_emit.host_and_kernels t prog);
+
+  Fmt.pr "==== PTX-style cores ====@.";
+  List.iter
+    (fun prog ->
+      List.iter
+        (fun (s : Hextile_ir.Stencil.stmt) ->
+          let l = Ptx_emit.core_listing prog s in
+          Fmt.pr "-- %s / %s: %d loads, %d ops, %d store(s)@.%s@." prog.name
+            s.sname l.loads l.arith l.stores l.text)
+        prog.stmts)
+    [ Suite.jacobi2d; Suite.fdtd2d ];
+
+  Fmt.pr "==== OpenCL flavour (same schedule) ====@.%s@."
+    (Opencl_emit.kernel t Suite.heat2d ~phase:0);
+
+  (* A multi-statement kernel needs h+1 to be a multiple of k = 3. *)
+  let fdtd = Suite.fdtd2d in
+  let t = Hybrid.make fdtd ~h:2 ~w:[| 3; 32 |] in
+  Fmt.pr "==== CUDA-style code for %s (3 statements, h=2) ====@.%s@." fdtd.name
+    (Cuda_emit.kernel t fdtd ~phase:0)

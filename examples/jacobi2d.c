@@ -1,0 +1,13 @@
+/* The paper's Figure 1 kernel, accepted verbatim by the hextile frontend:
+ *   dune exec bin/hextile.exe -- parse examples/jacobi2d.c
+ *   dune exec bin/hextile.exe -- run examples/jacobi2d.c --scheme hybrid
+ */
+float A[2][N][N];
+
+for (t = 0; t < T; t++)
+  for (i = 1; i < N - 1; i++)
+    #pragma ivdep
+    for (j = 1; j < N - 1; j++)
+      A[(t+1)%2][i][j] = 0.2f * (A[t%2][i][j] +
+          A[t%2][i+1][j] + A[t%2][i-1][j] +
+          A[t%2][i][j+1] + A[t%2][i][j-1]);

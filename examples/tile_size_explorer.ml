@@ -1,0 +1,39 @@
+(* Tile-size exploration (Section 3.7): enumerate candidate (h, w) sizes,
+   count iterations and loads of a generic tile exactly, and pick the
+   size with the lowest load-to-compute ratio under a shared-memory
+   budget with warp-aligned innermost width.
+
+   Run with: dune exec examples/tile_size_explorer.exe *)
+
+open Hextile_stencils
+open Hextile_tiling
+
+let explore prog ~h_candidates ~w0_candidates ~wi_candidates =
+  Fmt.pr "== %s ==@." prog.Hextile_ir.Stencil.name;
+  List.iter
+    (fun h ->
+      List.iter
+        (fun w0 ->
+          match Hybrid.make prog ~h ~w:(Array.of_list (w0 :: List.map List.hd wi_candidates)) with
+          | t ->
+              Fmt.pr "  h=%d w0=%d: %a@." h w0 Tile_size.pp_stats (Tile_size.tile_stats t)
+          | exception Invalid_argument _ -> ())
+        w0_candidates)
+    h_candidates;
+  match
+    Tile_size.select prog ~h_candidates ~w0_candidates ~wi_candidates
+      ~shared_mem_floats:(48 * 1024 / 4) ~require_multiple:32 ()
+  with
+  | Some c -> Fmt.pr "  selected: %a@." Tile_size.pp_choice c
+  | None -> Fmt.pr "  no feasible size@."
+
+let () =
+  explore Suite.heat2d ~h_candidates:[ 1; 3; 5; 7 ] ~w0_candidates:[ 2; 4; 8 ]
+    ~wi_candidates:[ [ 32; 64 ] ];
+  explore Suite.heat3d ~h_candidates:[ 1; 2 ] ~w0_candidates:[ 2; 4; 7 ]
+    ~wi_candidates:[ [ 4; 6; 10 ]; [ 32 ] ];
+  (* the formula check of Section 3.7 *)
+  let t = Hybrid.make Suite.heat3d ~h:2 ~w:[| 7; 10; 32 |] in
+  let s = Tile_size.tile_stats t in
+  Fmt.pr "heat3d h=2 w=(7,10,32): %d iterations; paper formula %d@." s.iterations
+    (Tile_size.iterations_formula_3d ~h:2 ~w0:7 ~w1:10 ~w2:32)

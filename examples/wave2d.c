@@ -1,0 +1,13 @@
+/* Second-order wave equation: reads two time levels (triple buffering),
+ * exercising dependences with time distance 2.
+ *   dune exec bin/hextile.exe -- deps examples/wave2d.c
+ */
+float A[3][N][N];
+
+for (t = 0; t < T; t++)
+  for (i = 1; i < N - 1; i++)
+    for (j = 1; j < N - 1; j++)
+      A[(t+2)%3][i][j] = 2.0f * A[(t+1)%3][i][j] - A[t%3][i][j]
+        + 0.1f * (A[(t+1)%3][i+1][j] + A[(t+1)%3][i-1][j]
+                + A[(t+1)%3][i][j+1] + A[(t+1)%3][i][j-1]
+                - 4.0f * A[(t+1)%3][i][j]);

@@ -1,0 +1,24 @@
+(** CUDA C emission for a hybrid hexagonal/classical schedule.
+
+    Produces display-level CUDA: a host driver looping over time tiles and
+    launching one kernel per phase, plus the two kernels with shared-memory
+    staging, the sequential classical-tile and intra-tile time loops, the
+    hexagon membership guards for partial tiles, and a specialized
+    guard-free unrolled body for full tiles (Section 4.3). The output is
+    meant for inspection and documentation — this repository has no CUDA
+    toolchain, the simulator executes the schedule directly. *)
+
+open Hextile_ir
+open Hextile_tiling
+
+val host_and_kernels : Hybrid.t -> Stencil.t -> string
+(** Full translation unit (host + both phase kernels). *)
+
+val kernel : Hybrid.t -> Stencil.t -> phase:int -> string
+
+(** {2 Shared emission helpers} (used by {!Opencl_emit}) *)
+
+val access_expr : Stencil.t -> Stencil.access -> string
+val fexpr_str : Stencil.t -> Stencil.fexpr -> string
+val guards : Hybrid.t -> string list
+(** Hexagon membership conditions in local coordinates [(tp, b)]. *)

@@ -1,0 +1,85 @@
+open Hextile_ir
+open Hextile_tiling
+
+let param_args (prog : Stencil.t) =
+  String.concat ", " (List.map (fun p -> "int " ^ p) prog.params)
+
+let array_args (prog : Stencil.t) =
+  String.concat ", "
+    (List.map
+       (fun (a : Stencil.array_decl) -> "__global float *g_" ^ a.aname)
+       prog.arrays)
+
+let kernel (t : Hybrid.t) (prog : Stencil.t) ~phase =
+  let b = Buffer.create 2048 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let h = t.h in
+  let height = (2 * h) + 2 in
+  let hex = t.hex in
+  let u_shift = if phase = 0 then h + 1 else 0 in
+  let s_shift = if phase = 0 then hex.fl0 + hex.w0 + 1 else 0 in
+  let drift = hex.fl1 - hex.fl0 in
+  pf "__kernel void %s_phase%d(%s, %s, int TT)\n{\n" prog.name phase
+    (array_args prog) (param_args prog);
+  List.iter
+    (fun (a : Stencil.array_decl) ->
+      match a.fold with
+      | Some m ->
+          pf "  __local float shm_%s[%d][SHM_Y_%s][SHM_X_%s];\n" a.aname m a.aname
+            a.aname
+      | None -> pf "  __local float shm_%s[SHM_Y_%s][SHM_X_%s];\n" a.aname a.aname a.aname)
+    prog.arrays;
+  pf "  const int S0 = get_group_id(0) + S0_FIRST(TT);\n";
+  pf "  const int u0 = TT*%d - %d;\n" height u_shift;
+  pf "  const int s00 = S0*%d - %d - TT*%d;\n" hex.width s_shift drift;
+  let n = t.dims in
+  for d = 1 to n - 1 do
+    pf "  for (int S%d = S%d_FIRST; S%d <= S%d_LAST; ++S%d) {\n" d d d d d
+  done;
+  List.iter
+    (fun (a : Stencil.array_decl) -> pf "    COPY_IN(shm_%s, g_%s);\n" a.aname a.aname)
+    prog.arrays;
+  pf "    barrier(CLK_LOCAL_MEM_FENCE);\n";
+  pf "    for (int tp = 0; tp < %d; ++tp) {\n" height;
+  pf "      const int u = u0 + tp;\n";
+  pf "      if (u >= 0 && u < %d*%s) {\n" t.k (Affp.to_string prog.steps);
+  pf "        const int t = u / %d;\n" t.k;
+  List.iteri
+    (fun si (s : Stencil.stmt) ->
+      let cond = if t.k = 1 then "" else Printf.sprintf "if (u %% %d == %d) " t.k si in
+      pf "        %s{ // %s\n" cond s.sname;
+      pf "          if (IS_FULL_TILE) {\n";
+      pf "            for (int b = get_local_id(1); b < ROW_WIDTH(tp); b += get_local_size(1)) {\n";
+      pf "              const int i = s00 + ROW_LO(tp) + b;\n";
+      for d = 1 to n - 1 do
+        pf "              const int %c = S%d*%d - SKEW%d(tp) + get_local_id(%d);\n"
+          (Char.chr (Char.code 'i' + d))
+          d t.w.(d) d
+          (if d = n - 1 then 0 else 2)
+      done;
+      pf "              %s = %s;\n" (Cuda_emit.access_expr prog s.write)
+        (Cuda_emit.fexpr_str prog s.rhs);
+      pf "              g_%s[GIDX] = %s;\n" s.write.array
+        (Cuda_emit.access_expr prog s.write);
+      pf "            }\n          } else {\n";
+      pf "            // partial tile: hexagon guards\n";
+      pf "            if (%s) { /* guarded form of the statement */ }\n"
+        (String.concat " && " (Cuda_emit.guards t));
+      pf "          }\n        }\n")
+    prog.stmts;
+  pf "      }\n      barrier(CLK_LOCAL_MEM_FENCE);\n    }\n";
+  for _ = 1 to n - 1 do
+    pf "  }\n"
+  done;
+  pf "}\n";
+  Buffer.contents b
+
+let host_and_kernels (t : Hybrid.t) (prog : Stencil.t) =
+  let b = Buffer.create 4096 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pf "// OpenCL translation of the hybrid schedule for %s\n" prog.name;
+  pf "%s\n%s\n" (kernel t prog ~phase:0) (kernel t prog ~phase:1);
+  pf "/* host: for each TT, clEnqueueNDRangeKernel(%s_phase0),\n" prog.name;
+  pf "   then clEnqueueNDRangeKernel(%s_phase1); global size = S0 range,\n" prog.name;
+  pf "   local size = the thread block shape. */\n";
+  Buffer.contents b

@@ -1,0 +1,13 @@
+(** OpenCL emission for a hybrid hexagonal/classical schedule.
+
+    The paper's framework "currently translat[es] C input to CUDA or
+    OpenCL output"; this is the OpenCL counterpart of {!Cuda_emit}
+    (same structure: two phase kernels, [__local] staging, classical-tile
+    and intra-tile time loops, hexagon guards for partial tiles). Display
+    level, like the CUDA emitter. *)
+
+open Hextile_ir
+open Hextile_tiling
+
+val host_and_kernels : Hybrid.t -> Stencil.t -> string
+val kernel : Hybrid.t -> Stencil.t -> phase:int -> string

@@ -1,0 +1,105 @@
+open Hextile_ir
+
+type listing = { text : string; loads : int; stores : int; arith : int }
+
+let hexfloat f = Printf.sprintf "0f%08lX" (Int32.bits_of_float f)
+
+(* Synthetic but plausible shared-memory byte offsets: row-major over a
+   padded box per (array, slot), slots and arrays stacked. *)
+let make_addr (prog : Stencil.t) (stmt : Stencil.stmt) =
+  let accs = stmt.write :: Stencil.distinct_reads stmt in
+  let dims = Stencil.spatial_dims prog in
+  let ext = Array.make dims 0 in
+  List.iter
+    (fun (a : Stencil.access) ->
+      Array.iteri (fun d o -> ext.(d) <- max ext.(d) (abs o)) a.offsets)
+    accs;
+  let ext = Array.mapi (fun d r -> if d = dims - 1 then 32 + (2 * r) + 2 else 4 + (2 * r)) ext in
+  let plane = Array.fold_left ( * ) 1 ext in
+  let arrays = List.sort_uniq compare (List.map (fun (a : Stencil.access) -> a.array) accs) in
+  fun (a : Stencil.access) ~tstep ->
+    let decl = Stencil.array_decl prog a.array in
+    let slot =
+      match decl.fold with
+      | Some m -> Hextile_util.Intutil.fmod (tstep + a.time_off) m
+      | None -> 0
+    in
+    let ai = Option.get (List.find_index (String.equal a.array) arrays) in
+    let base = ((ai * 2) + slot) * plane in
+    let off = ref 0 in
+    Array.iteri
+      (fun d o -> off := (!off * ext.(d)) + (o + (ext.(d) / 2)))
+      a.offsets;
+    4 * (base + !off + 384)
+
+let core_listing ?(sweep_dim = 0) (prog : Stencil.t) (stmt : Stencil.stmt) =
+  let reads = Stencil.distinct_reads stmt in
+  let addr = make_addr prog stmt in
+  let shift (a : Stencil.access) d k =
+    { a with offsets = Array.mapi (fun i o -> if i = d then o + k else o) a.offsets }
+  in
+  (* cells available in registers from the previous sweep iteration *)
+  let avail (a : Stencil.access) =
+    let a' = shift a sweep_dim 1 in
+    List.exists (fun r -> r = a') reads || a' = stmt.write (* own previous store *)
+  in
+  let buf = Buffer.create 512 in
+  let reg = ref 344 in
+  let fresh () =
+    incr reg;
+    Printf.sprintf "%%f%d" !reg
+  in
+  let loads = ref 0 and arith = ref 0 in
+  let cell_reg : (Stencil.access, string) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (r : Stencil.access) ->
+      if not (Hashtbl.mem cell_reg r) then
+        if avail r then
+          (* carried in a register from the previous iteration *)
+          Hashtbl.replace cell_reg r (fresh ())
+        else begin
+          let d = fresh () in
+          incr loads;
+          Buffer.add_string buf
+            (Printf.sprintf "ld.shared.f32 %s, [%%rd10+%d];\n" d (addr r ~tstep:0));
+          Hashtbl.replace cell_reg r d
+        end)
+    reads;
+  (* arithmetic with structural CSE *)
+  let memo : (Stencil.fexpr, string) Hashtbl.t = Hashtbl.create 16 in
+  let rec go (e : Stencil.fexpr) =
+    match Hashtbl.find_opt memo e with
+    | Some r -> r
+    | None ->
+        let r =
+          match e with
+          | Read a -> Hashtbl.find cell_reg a
+          | Fconst f -> hexfloat f
+          | Neg x ->
+              let rx = go x in
+              let d = fresh () in
+              incr arith;
+              Buffer.add_string buf (Printf.sprintf "neg.f32 %s, %s;\n" d rx);
+              d
+          | Bin (op, l, r') ->
+              let rl = go l and rr = go r' in
+              let opname =
+                match op with
+                | Add -> "add"
+                | Sub -> "sub"
+                | Mul -> "mul"
+                | Div -> "div.rn"
+              in
+              let d = fresh () in
+              incr arith;
+              Buffer.add_string buf
+                (Printf.sprintf "%s.f32 %s, %s, %s;\n" opname d rl rr);
+              d
+        in
+        Hashtbl.replace memo e r;
+        r
+  in
+  let result = go stmt.rhs in
+  Buffer.add_string buf
+    (Printf.sprintf "st.shared.f32 [%%rd10+%d], %s;\n" (addr stmt.write ~tstep:0) result);
+  { text = Buffer.contents buf; loads = !loads; stores = 1; arith = !arith }

@@ -1,0 +1,25 @@
+(** PTX-style listing of the unrolled core computation (Figure 2).
+
+    Emits the steady-state body of one unrolled inner iteration of a
+    statement, after register reuse: values produced by the previous
+    iteration along the sweep direction (and the thread's own last store)
+    stay in registers, so only the cells newly entering the stencil
+    neighbourhood are loaded from shared memory. For the Figure 1 Jacobi
+    kernel this yields exactly 3 [ld.shared] + 5 arithmetic ops + 1
+    [st.shared], matching the paper's Figure 2. *)
+
+open Hextile_ir
+
+type listing = {
+  text : string;
+  loads : int;  (** ld.shared instructions *)
+  stores : int;
+  arith : int;  (** arithmetic instructions *)
+}
+
+val core_listing : ?sweep_dim:int -> Stencil.t -> Stencil.stmt -> listing
+(** [sweep_dim] is the spatial dimension of the sequential sweep used for
+    register reuse (default: dimension 0, the time-tile row direction). *)
+
+val hexfloat : float -> string
+(** PTX hex encoding of a float32 immediate, e.g. [0f3E4CCCCD] for 0.2. *)

@@ -1,0 +1,33 @@
+open Hextile_util
+
+type t = { delta0 : Rat.t; delta1 : Rat.t }
+
+let ratio_bounds deps ~dim =
+  List.fold_left
+    (fun (d0, d1) (dep : Dep.t) ->
+      let du = dep.dist.(0) and ds = dep.dist.(dim + 1) in
+      if du < 1 then
+        invalid_arg
+          (Fmt.str "Cone.of_deps: dependence with non-positive time distance %d" du);
+      let r = Rat.make ds du in
+      (Rat.max d0 r, Rat.max d1 (Rat.neg r)))
+    (Rat.zero, Rat.zero) deps
+
+let of_deps deps ~dim =
+  let delta0, delta1 = ratio_bounds deps ~dim in
+  { delta0; delta1 }
+
+let delta1_only deps ~dim = (of_deps deps ~dim).delta1
+
+let check t deps ~dim =
+  List.for_all
+    (fun (dep : Dep.t) ->
+      let du = dep.dist.(0) and ds = dep.dist.(dim + 1) in
+      Rat.compare (Rat.of_int ds) (Rat.mul_int t.delta0 du) <= 0
+      && Rat.compare (Rat.of_int ds) (Rat.neg (Rat.mul_int t.delta1 du)) >= 0)
+    deps
+
+let rays t =
+  ((Rat.minus_one, Rat.neg t.delta0), (Rat.minus_one, t.delta1))
+
+let pp ppf t = Fmt.pf ppf "cone(δ0=%a, δ1=%a)" Rat.pp t.delta0 Rat.pp t.delta1

@@ -1,0 +1,28 @@
+(** The opposite dependence cone and its bounding slopes (Figure 3).
+
+    For the hexagonally tiled dimension the paper needs rational constants
+    [δ0, δ1] with [Δs ≤ δ0·Δu] and [Δs ≥ -δ1·Δu] for every dependence
+    distance [(Δu, ..., Δs, ...)]; for a classically tiled dimension only
+    the lower bound [δ1] is needed. Both are tightest-possible maxima of
+    ratios over the finite distance set, clamped to be non-negative (a
+    wider cone is always legal, and the tile-shape formulas assume
+    [⌊δh⌋ ≥ 0]). *)
+
+type t = { delta0 : Hextile_util.Rat.t; delta1 : Hextile_util.Rat.t }
+
+val of_deps : Dep.t list -> dim:int -> t
+(** [of_deps deps ~dim] bounds spatial dimension [dim] (0-based; distance
+    index [dim+1]) against the schedule time distance. Raises
+    [Invalid_argument] if some dependence has [Δu < 1]. *)
+
+val delta1_only : Dep.t list -> dim:int -> Hextile_util.Rat.t
+(** The classical-tiling skew δ1 for dimension [dim] (Section 3.4). *)
+
+val check : t -> Dep.t list -> dim:int -> bool
+(** Verify that every dependence distance lies inside the cone. *)
+
+val rays : t -> (Hextile_util.Rat.t * Hextile_util.Rat.t) * (Hextile_util.Rat.t * Hextile_util.Rat.t)
+(** The generators [(-1, -δ0)] and [(-1, δ1)] of the opposite cone, as
+    drawn in Figure 3. *)
+
+val pp : t Fmt.t

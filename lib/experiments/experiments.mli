@@ -1,0 +1,99 @@
+(** Drivers that regenerate every table and figure of the paper's
+    evaluation (Section 6), on the GPU simulator.
+
+    Methodology: the paper's data sizes (3072² × 512 steps, 384³ × 128)
+    are too large to simulate instruction-by-instruction in reasonable
+    time, so each experiment runs a scaled-down instance and the device
+    model is scaled with it — the L2 capacity and the kernel-launch
+    overhead are reduced by the same factor as the working set and the
+    per-launch work, preserving the paper's machine-balance ratios. Every
+    run is verified bit-for-bit against the sequential reference
+    interpreter. Absolute GStencils/s are model outputs; the comparisons
+    (which scheme wins, by roughly what factor) are the reproduction
+    target; EXPERIMENTS.md records paper-vs-measured per experiment. *)
+
+open Hextile_gpusim
+open Hextile_ir
+open Hextile_schemes
+
+type scheme = Ppcg | Par4all | Overtile | Patus | Hybrid
+
+val scheme_name : scheme -> string
+
+val sizes : quick:bool -> Stencil.t -> (string * int) list
+(** Scaled instantiation of a benchmark (quick: N=128/T=24 in 2D,
+    N=48/T=12 in 3D; full: doubled). *)
+
+val scaled_device : Device.t -> Stencil.t -> (string * int) list -> Device.t
+(** Shrink L2 and launch overhead to preserve the paper's ratios. *)
+
+val run_scheme :
+  ?verify:bool ->
+  scheme ->
+  Stencil.t ->
+  (string * int) list ->
+  Device.t ->
+  Common.result
+(** Run one scheme on a scaled instance (device scaling applied inside).
+    With [verify] (default true) the final grids are compared against the
+    reference interpreter and the executed instance count is checked;
+    failures raise. *)
+
+(** {2 Tables} *)
+
+type perf_row = {
+  kernel : string;
+  cells : (scheme * float) list;  (** GStencils/second *)
+}
+
+val table12 : ?quick:bool -> Device.t -> perf_row list
+(** Tables 1 and 2: all Table 3 benchmarks × schemes on one device. *)
+
+val paper_table12 : Device.t -> (string * (scheme * float option) list) list
+(** The paper's reported numbers for side-by-side comparison. *)
+
+val pp_table12 : Device.t -> perf_row list Fmt.t
+
+val table3_text : unit -> string
+
+type ladder_step = { step : char; label : string; result : Common.result }
+
+val ladder : ?quick:bool -> Device.t -> ladder_step list
+(** The Table 4/5 optimization ladder (a)–(f) on heat 3D. *)
+
+val pp_table4 : (Device.t * ladder_step list) list Fmt.t
+(** GFLOPS per configuration and device (Table 4 layout). *)
+
+val pp_table5 : (Device.t * ladder_step list) Fmt.t
+(** Performance counters (Table 5 layout). *)
+
+(** {2 Figures} *)
+
+val figure1_source : string
+(** The Figure 1 Jacobi source accepted by the frontend. *)
+
+val figure2_text : unit -> string
+val figure3_text : unit -> string
+val figure4_text : unit -> string
+val figure5_text : unit -> string
+val figure6_text : unit -> string
+
+val tile_size_sweep_text : unit -> string
+(** The Section 3.7 model on heat 3D: candidate sizes ranked by
+    load-to-compute ratio. *)
+
+val patus_note : ?quick:bool -> Device.t -> string
+(** The paper reports Patus only in prose (laplacian/heat 3D); this
+    regenerates those two data points. *)
+
+val h_sweep : ?quick:bool -> Device.t -> Stencil.t -> (int * float) list
+(** Ablation: GStencils/s of the hybrid scheme as the time-tile height
+    [h] grows (h = 0 disables time tiling within tiles). *)
+
+val diamond_vs_hex_text : unit -> string
+(** The Section 5 qualitative comparison: diamond tiles with odd sizes
+    have varying integer-point counts, hexagonal tiles never do. *)
+
+val split1d_text : ?quick:bool -> Device.t -> string
+(** The 1D degenerate case: hexagonal (hybrid) vs split tiling vs space
+    tiling on heat 1D, all verified. *)

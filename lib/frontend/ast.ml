@@ -1,0 +1,41 @@
+(** Parse tree of the stencil C subset. *)
+
+type pos = Lexer.pos
+
+(** Integer (index / bound) expressions. *)
+type iexpr =
+  | IVar of string
+  | IConst of int
+  | IAdd of iexpr * iexpr
+  | ISub of iexpr * iexpr
+  | IMul of iexpr * iexpr
+  | IMod of iexpr * iexpr
+  | INeg of iexpr
+
+(** Floating-point (right-hand side) expressions. *)
+type fexpr =
+  | FRef of string * iexpr list * pos
+  | FConst of float
+  | FBin of Hextile_ir.Stencil.binop * fexpr * fexpr
+  | FNeg of fexpr
+
+type bound = Lt of iexpr | Le of iexpr
+
+type assign = { array : string; indices : iexpr list; rhs : fexpr; apos : pos }
+
+type item = For of floop | Assign of assign
+
+and floop = { var : string; lo : iexpr; hi : bound; body : item list; pos : pos }
+
+type decl = { dname : string; dims : iexpr list; dpos : pos }
+
+type program = { decls : decl list; loop : floop }
+
+let rec pp_iexpr ppf = function
+  | IVar v -> Fmt.string ppf v
+  | IConst n -> Fmt.int ppf n
+  | IAdd (a, b) -> Fmt.pf ppf "(%a + %a)" pp_iexpr a pp_iexpr b
+  | ISub (a, b) -> Fmt.pf ppf "(%a - %a)" pp_iexpr a pp_iexpr b
+  | IMul (a, b) -> Fmt.pf ppf "(%a * %a)" pp_iexpr a pp_iexpr b
+  | IMod (a, b) -> Fmt.pf ppf "(%a %% %a)" pp_iexpr a pp_iexpr b
+  | INeg a -> Fmt.pf ppf "(-%a)" pp_iexpr a

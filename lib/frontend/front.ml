@@ -1,0 +1,14 @@
+let render (pos : Lexer.pos) msg = Fmt.str "line %d, col %d: %s" pos.line pos.col msg
+
+let parse_string ~name src =
+  match Lower.program ~name (Parser.program src) with
+  | prog -> Ok prog
+  | exception Lexer.Error (pos, m) -> Error (render pos m)
+  | exception Parser.Error (pos, m) -> Error (render pos m)
+  | exception Lower.Error (pos, m) -> Error (render pos m)
+
+let parse_file path =
+  let name = Filename.remove_extension (Filename.basename path) in
+  match In_channel.with_open_text path In_channel.input_all with
+  | src -> parse_string ~name src
+  | exception Sys_error m -> Error m

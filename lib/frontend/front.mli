@@ -1,0 +1,7 @@
+(** One-call frontend: C-subset source text to canonical stencil IR. *)
+
+val parse_string : name:string -> string -> (Hextile_ir.Stencil.t, string) result
+(** Parse and lower; errors are rendered as ["line L, col C: message"]. *)
+
+val parse_file : string -> (Hextile_ir.Stencil.t, string) result
+(** Program name is the file's basename without extension. *)

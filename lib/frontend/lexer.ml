@@ -1,0 +1,202 @@
+type pos = { line : int; col : int }
+
+type token =
+  | Ident of string
+  | Int of int
+  | Float of float
+  | Kw_for
+  | Kw_float
+  | LParen
+  | RParen
+  | LBrace
+  | RBrace
+  | LBracket
+  | RBracket
+  | Semi
+  | Comma
+  | Assign
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Percent
+  | Lt
+  | Le
+  | PlusPlus
+  | PlusAssign
+  | Eof
+
+exception Error of pos * string
+
+type t = {
+  src : string;
+  mutable off : int;
+  mutable line : int;
+  mutable bol : int;  (** offset of beginning of current line *)
+  mutable tok : token;
+  mutable tok_pos : pos;
+}
+
+let cur_pos t = { line = t.line; col = t.off - t.bol + 1 }
+
+let is_id_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_id c = is_id_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let rec skip_ws t =
+  let n = String.length t.src in
+  if t.off < n then
+    match t.src.[t.off] with
+    | ' ' | '\t' | '\r' ->
+        t.off <- t.off + 1;
+        skip_ws t
+    | '\n' ->
+        t.off <- t.off + 1;
+        t.line <- t.line + 1;
+        t.bol <- t.off;
+        skip_ws t
+    | '#' ->
+        (* preprocessor line: skip to end of line *)
+        while t.off < n && t.src.[t.off] <> '\n' do
+          t.off <- t.off + 1
+        done;
+        skip_ws t
+    | '/' when t.off + 1 < n && t.src.[t.off + 1] = '/' ->
+        while t.off < n && t.src.[t.off] <> '\n' do
+          t.off <- t.off + 1
+        done;
+        skip_ws t
+    | '/' when t.off + 1 < n && t.src.[t.off + 1] = '*' ->
+        let p = cur_pos t in
+        t.off <- t.off + 2;
+        let rec close () =
+          if t.off + 1 >= n then raise (Error (p, "unterminated comment"))
+          else if t.src.[t.off] = '*' && t.src.[t.off + 1] = '/' then t.off <- t.off + 2
+          else begin
+            if t.src.[t.off] = '\n' then begin
+              t.line <- t.line + 1;
+              t.bol <- t.off + 1
+            end;
+            t.off <- t.off + 1;
+            close ()
+          end
+        in
+        close ();
+        skip_ws t
+    | _ -> ()
+
+let scan t =
+  skip_ws t;
+  t.tok_pos <- cur_pos t;
+  let n = String.length t.src in
+  if t.off >= n then Eof
+  else
+    let c = t.src.[t.off] in
+    let adv k tok =
+      t.off <- t.off + k;
+      tok
+    in
+    if is_id_start c then begin
+      let start = t.off in
+      while t.off < n && is_id t.src.[t.off] do
+        t.off <- t.off + 1
+      done;
+      match String.sub t.src start (t.off - start) with
+      | "for" -> Kw_for
+      | "float" -> Kw_float
+      | id -> Ident id
+    end
+    else if is_digit c then begin
+      let start = t.off in
+      while t.off < n && is_digit t.src.[t.off] do
+        t.off <- t.off + 1
+      done;
+      if t.off < n && (t.src.[t.off] = '.' || t.src.[t.off] = 'e') then begin
+        if t.src.[t.off] = '.' then begin
+          t.off <- t.off + 1;
+          while t.off < n && is_digit t.src.[t.off] do
+            t.off <- t.off + 1
+          done
+        end;
+        if t.off < n && (t.src.[t.off] = 'e' || t.src.[t.off] = 'E') then begin
+          t.off <- t.off + 1;
+          if t.off < n && (t.src.[t.off] = '+' || t.src.[t.off] = '-') then
+            t.off <- t.off + 1;
+          while t.off < n && is_digit t.src.[t.off] do
+            t.off <- t.off + 1
+          done
+        end;
+        let s = String.sub t.src start (t.off - start) in
+        if t.off < n && (t.src.[t.off] = 'f' || t.src.[t.off] = 'F') then
+          t.off <- t.off + 1;
+        Float (float_of_string s)
+      end
+      else begin
+        let s = String.sub t.src start (t.off - start) in
+        if t.off < n && (t.src.[t.off] = 'f' || t.src.[t.off] = 'F') then begin
+          t.off <- t.off + 1;
+          Float (float_of_string s)
+        end
+        else Int (int_of_string s)
+      end
+    end
+    else
+      match c with
+      | '(' -> adv 1 LParen
+      | ')' -> adv 1 RParen
+      | '{' -> adv 1 LBrace
+      | '}' -> adv 1 RBrace
+      | '[' -> adv 1 LBracket
+      | ']' -> adv 1 RBracket
+      | ';' -> adv 1 Semi
+      | ',' -> adv 1 Comma
+      | '*' -> adv 1 Star
+      | '/' -> adv 1 Slash
+      | '%' -> adv 1 Percent
+      | '=' -> adv 1 Assign
+      | '+' ->
+          if t.off + 1 < n && t.src.[t.off + 1] = '+' then adv 2 PlusPlus
+          else if t.off + 1 < n && t.src.[t.off + 1] = '=' then adv 2 PlusAssign
+          else adv 1 Plus
+      | '-' -> adv 1 Minus
+      | '<' -> if t.off + 1 < n && t.src.[t.off + 1] = '=' then adv 2 Le else adv 1 Lt
+      | c -> raise (Error (cur_pos t, Fmt.str "unexpected character %C" c))
+
+let of_string src =
+  let t = { src; off = 0; line = 1; bol = 0; tok = Eof; tok_pos = { line = 1; col = 1 } } in
+  t.tok <- scan t;
+  t
+
+let peek t = t.tok
+let pos t = t.tok_pos
+
+let next t =
+  let tok = t.tok in
+  t.tok <- scan t;
+  tok
+
+let pp_token ppf = function
+  | Ident s -> Fmt.pf ppf "identifier %S" s
+  | Int n -> Fmt.pf ppf "integer %d" n
+  | Float f -> Fmt.pf ppf "float %g" f
+  | Kw_for -> Fmt.string ppf "'for'"
+  | Kw_float -> Fmt.string ppf "'float'"
+  | LParen -> Fmt.string ppf "'('"
+  | RParen -> Fmt.string ppf "')'"
+  | LBrace -> Fmt.string ppf "'{'"
+  | RBrace -> Fmt.string ppf "'}'"
+  | LBracket -> Fmt.string ppf "'['"
+  | RBracket -> Fmt.string ppf "']'"
+  | Semi -> Fmt.string ppf "';'"
+  | Comma -> Fmt.string ppf "','"
+  | Assign -> Fmt.string ppf "'='"
+  | Plus -> Fmt.string ppf "'+'"
+  | Minus -> Fmt.string ppf "'-'"
+  | Star -> Fmt.string ppf "'*'"
+  | Slash -> Fmt.string ppf "'/'"
+  | Percent -> Fmt.string ppf "'%'"
+  | Lt -> Fmt.string ppf "'<'"
+  | Le -> Fmt.string ppf "'<='"
+  | PlusPlus -> Fmt.string ppf "'++'"
+  | PlusAssign -> Fmt.string ppf "'+='"
+  | Eof -> Fmt.string ppf "end of input"

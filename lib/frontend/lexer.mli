@@ -1,0 +1,45 @@
+(** Hand-written lexer for the stencil C subset.
+
+    Handles identifiers, integer and float literals (with the [f]
+    suffix), the punctuation of loop nests and affine expressions,
+    [//] and [/* */] comments, and skips preprocessor lines. *)
+
+type pos = { line : int; col : int }
+
+type token =
+  | Ident of string
+  | Int of int
+  | Float of float
+  | Kw_for
+  | Kw_float  (** the [float] type keyword in array declarations *)
+  | LParen
+  | RParen
+  | LBrace
+  | RBrace
+  | LBracket
+  | RBracket
+  | Semi
+  | Comma
+  | Assign
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Percent
+  | Lt
+  | Le
+  | PlusPlus
+  | PlusAssign  (** [+=], rejected later with a clear message *)
+  | Eof
+
+exception Error of pos * string
+
+type t
+
+val of_string : string -> t
+val peek : t -> token
+val pos : t -> pos
+val next : t -> token
+(** Consume and return the current token. *)
+
+val pp_token : token Fmt.t

@@ -1,0 +1,273 @@
+open Ast
+open Hextile_ir
+
+exception Error of Lexer.pos * string
+
+let fail pos fmt = Fmt.kstr (fun m -> raise (Error (pos, m))) fmt
+
+(* ---- linear forms ---------------------------------------------------- *)
+
+type lin = { lconst : int; lterms : (string * int) list }
+
+let lin_const c = { lconst = c; lterms = [] }
+
+let lin_add a b =
+  let terms =
+    List.fold_left
+      (fun acc (v, c) ->
+        match List.assoc_opt v acc with
+        | None -> (v, c) :: acc
+        | Some c0 -> (v, c0 + c) :: List.remove_assoc v acc)
+      a.lterms b.lterms
+  in
+  {
+    lconst = a.lconst + b.lconst;
+    lterms = List.filter (fun (_, c) -> c <> 0) terms;
+  }
+
+let lin_scale k a =
+  { lconst = k * a.lconst; lterms = List.filter_map (fun (v, c) -> if k * c = 0 then None else Some (v, k * c)) a.lterms }
+
+(* Linearize an index expression with no modulo. *)
+let rec linearize pos (e : iexpr) : lin =
+  match e with
+  | IConst n -> lin_const n
+  | IVar v -> { lconst = 0; lterms = [ (v, 1) ] }
+  | IAdd (a, b) -> lin_add (linearize pos a) (linearize pos b)
+  | ISub (a, b) -> lin_add (linearize pos a) (lin_scale (-1) (linearize pos b))
+  | INeg a -> lin_scale (-1) (linearize pos a)
+  | IMul (a, b) -> (
+      let la = linearize pos a and lb = linearize pos b in
+      match (la.lterms, lb.lterms) with
+      | [], _ -> lin_scale la.lconst lb
+      | _, [] -> lin_scale lb.lconst la
+      | _ -> fail pos "non-affine product in index expression")
+  | IMod _ ->
+      fail pos "modulo is only supported on the buffering index, as in A[(t+1)%%2]"
+
+let coeff lin v = Option.value ~default:0 (List.assoc_opt v lin.lterms)
+
+(* Convert a linear form over parameters only into an Affp. *)
+let affp_of pos ~iters lin =
+  List.iter
+    (fun (v, _) ->
+      if List.mem v iters then
+        fail pos "loop bound or array extent mentions iterator %s" v)
+    lin.lterms;
+  List.fold_left
+    (fun acc (v, c) -> Affp.add acc (Affp.scale c (Affp.param v)))
+    (Affp.const lin.lconst) lin.lterms
+
+(* ---- nest collection -------------------------------------------------- *)
+
+(* Collect the perfect spatial nest under a time-loop item. *)
+let rec collect_nest item =
+  match item with
+  | Assign a -> ([], a)
+  | For f -> (
+      match f.body with
+      | [ inner ] ->
+          let loops, a = collect_nest inner in
+          (f :: loops, a)
+      | [] -> fail f.pos "empty loop body"
+      | _ ->
+          fail f.pos
+            "imperfect loop nest: a spatial loop must contain exactly one \
+             statement or loop")
+
+(* ---- index analysis --------------------------------------------------- *)
+
+type idx_kind =
+  | Fold of int * int  (** modulus, time offset *)
+  | Spatial of int * int  (** iterator position (0-based among spatial), offset *)
+
+let analyze_index pos ~tvar ~spatial (e : iexpr) =
+  match e with
+  | IMod (inner, m) -> (
+      let m =
+        match linearize pos m with
+        | { lconst = m; lterms = [] } when m > 0 -> m
+        | _ -> fail pos "modulus must be a positive constant"
+      in
+      let lin = linearize pos inner in
+      match (coeff lin tvar, lin.lterms) with
+      | 1, [ _ ] when List.for_all (fun (v, _) -> String.equal v tvar) lin.lterms ->
+          Fold (m, lin.lconst)
+      | _ -> fail pos "buffering index must have the form (%s + c) %%%% m" tvar)
+  | _ -> (
+      let lin = linearize pos e in
+      match lin.lterms with
+      | [ (v, 1) ] -> (
+          match List.find_index (String.equal v) spatial with
+          | Some d -> Spatial (d, lin.lconst)
+          | None ->
+              if String.equal v tvar then
+                fail pos
+                  "time-dependent index without buffering modulo; write \
+                   %s[(%s + c) %%%% m][...]"
+                  v tvar
+              else fail pos "index uses %s, which is not a surrounding iterator" v)
+      | [] -> fail pos "constant array index %d not supported (no iterator)" lin.lconst
+      | _ -> fail pos "array index must be iterator + constant")
+
+let find_decl decls pos name =
+  match List.find_opt (fun d -> String.equal d.dname name) decls with
+  | Some d -> d
+  | None -> fail pos "array %s is not declared (add: float %s[...];)" name name
+
+let analyze_access decls ~tvar ~spatial pos array indices =
+  let decl = find_decl decls pos array in
+  let kinds = List.map (analyze_index pos ~tvar ~spatial) indices in
+  let folded, spatials =
+    match kinds with
+    | Fold (m, c) :: rest -> (Some (m, c), rest)
+    | rest -> (None, rest)
+  in
+  List.iter
+    (function
+      | Fold _ -> fail pos "only the first index of %s may be a buffering index" array
+      | Spatial _ -> ())
+    spatials;
+  if List.length indices <> List.length decl.dims then
+    fail pos "array %s declared with %d dimensions but accessed with %d" array
+      (List.length decl.dims) (List.length indices);
+  let n = List.length spatial in
+  let offsets = Array.make n 0 in
+  let seen = Array.make n false in
+  List.iteri
+    (fun j k ->
+      match k with
+      | Spatial (d, off) ->
+          if d <> j - (match folded with Some _ -> 1 | None -> 0) then
+            fail pos
+              "index %d of %s must use spatial iterator %d in nest order" j array j;
+          if seen.(d) then fail pos "iterator used twice in access to %s" array;
+          seen.(d) <- true;
+          offsets.(d) <- off
+      | Fold _ -> ())
+    kinds;
+  if Array.exists not seen then
+    fail pos "access to %s must use every surrounding spatial iterator" array;
+  (folded, { Stencil.array; time_off = (match folded with Some (_, c) -> c | None -> 0); offsets })
+
+(* ---- program ---------------------------------------------------------- *)
+
+let program ~name (ast : Ast.program) =
+  let loop = ast.loop in
+  let tvar = loop.var in
+  (match linearize loop.pos loop.lo with
+  | { lconst = 0; lterms = [] } -> ()
+  | _ -> fail loop.pos "the time loop must start at 0");
+  let steps_lin =
+    match loop.hi with
+    | Lt e -> linearize loop.pos e
+    | Le e -> lin_add (linearize loop.pos e) (lin_const 1)
+  in
+  (* fold info per array, discovered from accesses *)
+  let folds : (string, int) Hashtbl.t = Hashtbl.create 4 in
+  let note_fold pos array = function
+    | Some (m, _) -> (
+        match Hashtbl.find_opt folds array with
+        | None -> Hashtbl.replace folds array m
+        | Some m0 when m0 = m -> ()
+        | Some m0 -> fail pos "array %s buffered with both %%%d and %%%d" array m0 m)
+    | None ->
+        if Hashtbl.mem folds array then
+          fail pos "array %s accessed both with and without a buffering index" array
+  in
+  let items = loop.body in
+  if items = [] then fail loop.pos "time loop has an empty body";
+  let stmts =
+    List.mapi
+      (fun i item ->
+        let loops, assign =
+          match item with
+          | For f -> collect_nest (For f)
+          | Assign a -> fail a.apos "statement outside spatial loops"
+        in
+        let apos = assign.apos in
+        let spatial = List.map (fun f -> f.var) loops in
+        (if List.exists (String.equal tvar) spatial then
+           fail apos "iterator %s reused inside the time loop" tvar);
+        let uniq = List.sort_uniq String.compare spatial in
+        if List.length uniq <> List.length spatial then
+          fail apos "duplicate spatial iterator in nest";
+        let iters = tvar :: spatial in
+        let lo =
+          Array.of_list
+            (List.map (fun f -> affp_of f.pos ~iters (linearize f.pos f.lo)) loops)
+        in
+        let hi =
+          Array.of_list
+            (List.map
+               (fun f ->
+                 match f.hi with
+                 | Lt e -> Affp.add_const (affp_of f.pos ~iters (linearize f.pos e)) (-1)
+                 | Le e -> affp_of f.pos ~iters (linearize f.pos e))
+               loops)
+        in
+        let wfold, write =
+          analyze_access ast.decls ~tvar ~spatial apos assign.array assign.indices
+        in
+        note_fold apos assign.array wfold;
+        let rec lower_f (e : Ast.fexpr) =
+          match e with
+          | FConst f -> Stencil.Fconst f
+          | FNeg e -> Stencil.Neg (lower_f e)
+          | FBin (op, l, r) -> Stencil.Bin (op, lower_f l, lower_f r)
+          | FRef (arr, idx, rpos) ->
+              let rfold, acc = analyze_access ast.decls ~tvar ~spatial rpos arr idx in
+              note_fold rpos arr rfold;
+              Stencil.Read acc
+        in
+        let rhs = lower_f assign.rhs in
+        { Stencil.sname = Fmt.str "S%d" i; lo; hi; write; rhs })
+      items
+  in
+  (* array declarations *)
+  let arrays =
+    List.map
+      (fun d ->
+        let fold = Hashtbl.find_opt folds d.dname in
+        let dims =
+          match fold with
+          | Some m -> (
+              match d.dims with
+              | first :: rest ->
+                  (match linearize d.dpos first with
+                  | { lconst = m0; lterms = [] } when m0 >= m -> ()
+                  | { lconst = m0; lterms = [] } ->
+                      fail d.dpos "array %s declared with %d buffers but used with %%%d"
+                        d.dname m0 m
+                  | _ -> fail d.dpos "buffer count of %s must be a constant" d.dname);
+                  rest
+              | [] -> fail d.dpos "array %s needs a buffer dimension" d.dname)
+          | None -> d.dims
+        in
+        {
+          Stencil.aname = d.dname;
+          extents =
+            Array.of_list
+              (List.map (fun e -> affp_of d.dpos ~iters:[] (linearize d.dpos e)) dims);
+          fold;
+        })
+      ast.decls
+  in
+  let steps = affp_of loop.pos ~iters:[ tvar ] steps_lin in
+  (* parameters: everything mentioned in bounds, extents and steps *)
+  let params =
+    let tbl = Hashtbl.create 4 in
+    let note a = List.iter (fun p -> Hashtbl.replace tbl p ()) (Affp.params a) in
+    note steps;
+    List.iter (fun (a : Stencil.array_decl) -> Array.iter note a.extents) arrays;
+    List.iter
+      (fun (s : Stencil.stmt) ->
+        Array.iter note s.lo;
+        Array.iter note s.hi)
+      stmts;
+    List.sort String.compare (Hashtbl.fold (fun p () acc -> p :: acc) tbl [])
+  in
+  let prog = { Stencil.name; params; steps; arrays; stmts } in
+  match Stencil.validate prog with
+  | Ok () -> prog
+  | Error m -> fail loop.pos "%s" m

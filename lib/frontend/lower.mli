@@ -1,0 +1,19 @@
+(** Lowering from the parse tree to the canonical stencil IR
+    (the paper's Section 3.2 preprocessing, pet's role in the original
+    toolchain).
+
+    Checks and canonicalizations performed:
+    - the outer loop is the time loop, starting at 0;
+    - its body is a sequence of perfect spatial loop nests ending in one
+      assignment each;
+    - loop bounds are affine in the program parameters;
+    - array indices are [iterator + constant], except a leading
+      [(t + c) %% m] on arrays declared with a constant first extent [m],
+      which is recognised as double/multi-buffering and becomes a folded
+      array with time offset [c];
+    - every array is declared, arities match, each array has at most one
+      writing statement. *)
+
+exception Error of Lexer.pos * string
+
+val program : name:string -> Ast.program -> Hextile_ir.Stencil.t

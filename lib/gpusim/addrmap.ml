@@ -1,0 +1,29 @@
+open Hextile_ir
+
+type entry = { base : int; offset : int }
+
+type t = { mutable next : int; tbl : (string, entry) Hashtbl.t }
+
+let create () = { next = 256; tbl = Hashtbl.create 8 }
+
+let align_up n a = (n + a - 1) / a * a
+
+let place t (g : Grid.t) ~offset_floats =
+  let bytes = 4 * Array.length g.data in
+  let base = align_up t.next 256 in
+  t.next <- base + bytes + 1024;
+  let e = { base; offset = 4 * offset_floats } in
+  Hashtbl.replace t.tbl g.decl.aname e;
+  e
+
+let register t g ~offset_floats = ignore (place t g ~offset_floats)
+
+let base t (g : Grid.t) =
+  let e =
+    match Hashtbl.find_opt t.tbl g.decl.aname with
+    | Some e -> e
+    | None -> place t g ~offset_floats:0
+  in
+  e.base + e.offset
+
+let addr t (g : Grid.t) idx = base t g + (4 * idx)

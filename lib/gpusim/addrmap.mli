@@ -1,0 +1,22 @@
+(** Global-memory address assignment for grids.
+
+    Each array is placed at a 256-byte-aligned base in a flat byte address
+    space (in registration order), so coalescing and cache behaviour can
+    be computed from concrete addresses. An optional per-array translation
+    offset supports the aligned-loads optimization of Section 4.2.3. *)
+
+type t
+
+val create : unit -> t
+
+val register : t -> Hextile_ir.Grid.t -> offset_floats:int -> unit
+(** Explicitly place a grid, shifting its contents by [offset_floats]
+    floats relative to the aligned base (tile-translation knob). Grids not
+    registered are placed automatically with offset 0 on first use. *)
+
+val addr : t -> Hextile_ir.Grid.t -> int -> int
+(** Byte address of float element [flat_index] of the grid. *)
+
+val base : t -> Hextile_ir.Grid.t -> int
+(** Byte address of element 0 (registers the grid if needed), so that
+    [addr g i = base g + 4*i]. *)

@@ -1,0 +1,86 @@
+type t = {
+  name : string;
+  sms : int;
+  cores_per_sm : int;
+  clock_ghz : float;
+  dram_bw_gbs : float;
+  dram_efficiency : float;
+  l1_bytes : int;
+  l2_bytes : int;
+  l2_assoc : int;
+  l2_bw_gbs : float;
+  line_bytes : int;
+  warp_size : int;
+  banks : int;
+  shared_mem_bytes : int;
+  max_threads_per_block : int;
+  flops_per_core_per_cycle : float;
+  issue_efficiency : float;
+  launch_overhead_s : float;
+  sync_cycles : float;
+  gmem_request_cycles : float;
+  pcie_bw_gbs : float;
+}
+
+let gtx470 =
+  {
+    name = "gtx470";
+    sms = 14;
+    cores_per_sm = 32;
+    clock_ghz = 1.215;
+    dram_bw_gbs = 133.9;
+    dram_efficiency = 0.65;
+    l1_bytes = 16 * 1024;
+    l2_bytes = 640 * 1024;
+    l2_assoc = 8;
+    l2_bw_gbs = 320.0;
+    line_bytes = 128;
+    warp_size = 32;
+    banks = 32;
+    shared_mem_bytes = 48 * 1024;
+    max_threads_per_block = 1024;
+    flops_per_core_per_cycle = 1.0;
+    issue_efficiency = 0.55;
+    launch_overhead_s = 6e-6;
+    sync_cycles = 30.0;
+    gmem_request_cycles = 4.0;
+    pcie_bw_gbs = 5.5;
+  }
+
+let nvs5200m =
+  {
+    name = "nvs5200";
+    sms = 2;
+    cores_per_sm = 48;
+    clock_ghz = 1.344;
+    dram_bw_gbs = 14.4;
+    dram_efficiency = 0.70;
+    l1_bytes = 16 * 1024;
+    l2_bytes = 128 * 1024;
+    l2_assoc = 8;
+    l2_bw_gbs = 48.0;
+    line_bytes = 128;
+    warp_size = 32;
+    banks = 32;
+    shared_mem_bytes = 48 * 1024;
+    max_threads_per_block = 1024;
+    flops_per_core_per_cycle = 1.0;
+    issue_efficiency = 0.55;
+    launch_overhead_s = 8e-6;
+    sync_cycles = 30.0;
+    gmem_request_cycles = 4.0;
+    pcie_bw_gbs = 3.0;
+  }
+
+let by_name n =
+  match n with
+  | "gtx470" -> gtx470
+  | "nvs5200" | "nvs5200m" -> nvs5200m
+  | _ -> raise Not_found
+
+let peak_gflops t =
+  float_of_int (t.sms * t.cores_per_sm) *. t.clock_ghz *. t.flops_per_core_per_cycle
+
+let pp ppf t =
+  Fmt.pf ppf "%s: %d SMs x %d cores at %.3f GHz, %.1f GB/s DRAM, %d KB L2" t.name
+    t.sms t.cores_per_sm t.clock_ghz t.dram_bw_gbs (t.l2_bytes / 1024)

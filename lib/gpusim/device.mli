@@ -1,0 +1,43 @@
+(** GPU device models.
+
+    Parameters approximate the two boards of the paper's evaluation: a
+    GeForce GTX 470 (Fermi GF100, 14 SMs × 32 cores, 1.215 GHz shader
+    clock, 133.9 GB/s GDDR5) and an NVS 5200M (Fermi GF108 mobile, 2 SMs ×
+    48 cores, 1.344 GHz, 14.4 GB/s DDR3). The efficiency factors are
+    calibration constants of the analytic timing model, not measurements. *)
+
+type t = {
+  name : string;
+  sms : int;
+  cores_per_sm : int;
+  clock_ghz : float;
+  dram_bw_gbs : float;  (** peak DRAM bandwidth *)
+  dram_efficiency : float;  (** achievable fraction of peak *)
+  l1_bytes : int;  (** per-SM L1, modelled per-block; 0 disables *)
+  l2_bytes : int;
+  l2_assoc : int;
+  l2_bw_gbs : float;
+  line_bytes : int;  (** global-memory transaction size (128 B) *)
+  warp_size : int;
+  banks : int;  (** shared-memory banks *)
+  shared_mem_bytes : int;  (** per block *)
+  max_threads_per_block : int;
+  flops_per_core_per_cycle : float;
+  issue_efficiency : float;
+      (** fraction of peak instruction issue the memory-heavy stencil
+          kernels sustain *)
+  launch_overhead_s : float;
+  sync_cycles : float;  (** cost of one __syncthreads per block *)
+  gmem_request_cycles : float;
+      (** LSU cycles per warp-level global memory request (L1-hit issue
+          cost; shared-memory requests cost 1 cycle) *)
+  pcie_bw_gbs : float;
+}
+
+val gtx470 : t
+val nvs5200m : t
+val by_name : string -> t
+(** "gtx470" or "nvs5200"; raises [Not_found]. *)
+
+val peak_gflops : t -> float
+val pp : t Fmt.t

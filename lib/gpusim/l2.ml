@@ -1,0 +1,64 @@
+type t = {
+  sets : int;
+  assoc : int;
+  line_bytes : int;
+  tags : int array array;  (** [sets][assoc], -1 = invalid; index 0 = MRU *)
+  dirty : bool array array;
+}
+
+type outcome = { hit : bool; writeback : bool }
+
+let create ~bytes ~assoc ~line_bytes =
+  let lines = max 1 (bytes / line_bytes) in
+  let sets = max 1 (lines / assoc) in
+  {
+    sets;
+    assoc;
+    line_bytes;
+    tags = Array.make_matrix sets assoc (-1);
+    dirty = Array.make_matrix sets assoc false;
+  }
+
+let access t ~addr ~write =
+  let line = addr / t.line_bytes in
+  let si = line mod t.sets in
+  let set = t.tags.(si) and dirty = t.dirty.(si) in
+  let tag = line / t.sets in
+  let rec find i =
+    if i >= t.assoc then None else if set.(i) = tag then Some i else find (i + 1)
+  in
+  match find 0 with
+  | Some i ->
+      let d = dirty.(i) in
+      for j = i downto 1 do
+        set.(j) <- set.(j - 1);
+        dirty.(j) <- dirty.(j - 1)
+      done;
+      set.(0) <- tag;
+      dirty.(0) <- d || write;
+      { hit = true; writeback = false }
+  | None ->
+      let victim_dirty = set.(t.assoc - 1) >= 0 && dirty.(t.assoc - 1) in
+      for j = t.assoc - 1 downto 1 do
+        set.(j) <- set.(j - 1);
+        dirty.(j) <- dirty.(j - 1)
+      done;
+      set.(0) <- tag;
+      dirty.(0) <- write;
+      { hit = false; writeback = victim_dirty }
+
+let flush t =
+  let n = ref 0 in
+  Array.iteri
+    (fun si set ->
+      Array.iteri
+        (fun i tag ->
+          if tag >= 0 && t.dirty.(si).(i) then incr n;
+          set.(i) <- -1;
+          t.dirty.(si).(i) <- false)
+        set)
+    t.tags;
+  !n
+
+let reset t = ignore (flush t)
+let line_bytes t = t.line_bytes

@@ -1,0 +1,20 @@
+(** Set-associative L2 cache model with LRU replacement, line granularity
+    and write-back/write-allocate semantics: stores dirty a line, and the
+    DRAM write traffic is the stream of dirty lines evicted (plus whatever
+    [flush] returns at the end of a measurement). *)
+
+type t
+
+type outcome = { hit : bool; writeback : bool }
+
+val create : bytes:int -> assoc:int -> line_bytes:int -> t
+
+val access : t -> addr:int -> write:bool -> outcome
+(** Touch the line containing byte [addr]. [writeback] reports that the
+    victim line was dirty (one DRAM write transaction). *)
+
+val flush : t -> int
+(** Evict everything; returns the number of dirty lines written back. *)
+
+val reset : t -> unit
+val line_bytes : t -> int

@@ -1,0 +1,208 @@
+type t = {
+  dev : Device.t;
+  total : Counters.t;
+  l2 : L2.t;
+  l1 : L2.t;  (** per-SM L1, reset at block boundaries *)
+  addr : Addrmap.t;
+  mutable launches : launch list;
+  mutable blocks_in_flight : int;
+}
+
+and launch = {
+  lname : string;
+  blocks : int;
+  threads : int;
+  shared_bytes : int;
+  delta : Counters.t;
+  time_s : float;
+}
+
+let create (dev : Device.t) =
+  {
+    dev;
+    total = Counters.create ();
+    l2 = L2.create ~bytes:dev.l2_bytes ~assoc:dev.l2_assoc ~line_bytes:dev.line_bytes;
+    l1 =
+      L2.create
+        ~bytes:(max dev.line_bytes dev.l1_bytes)
+        ~assoc:4 ~line_bytes:dev.line_bytes;
+    addr = Addrmap.create ();
+    launches = [];
+    blocks_in_flight = 0;
+  }
+
+let active addrs =
+  Array.fold_left (fun n a -> if a = None then n else n + 1) 0 addrs
+
+(* Distinct cache lines among active lanes. *)
+let lines_of dev addrs =
+  let seen = ref [] in
+  Array.iter
+    (function
+      | None -> ()
+      | Some a ->
+          let l = a / dev.Device.line_bytes in
+          if not (List.mem l !seen) then seen := l :: !seen)
+    addrs;
+  !seen
+
+let global_load_warp t addrs =
+  let n = active addrs in
+  if n > 0 then begin
+    let c = t.total in
+    c.gld_inst <- c.gld_inst + n;
+    c.gld_requests <- c.gld_requests + 1;
+    c.gld_useful_bytes <- c.gld_useful_bytes + (4 * n);
+    List.iter
+      (fun line ->
+        c.gld_transactions <- c.gld_transactions + 1;
+        let addr = line * t.dev.line_bytes in
+        let l1 = t.dev.l1_bytes > 0 && (L2.access t.l1 ~addr ~write:false).hit in
+        if not l1 then begin
+          c.l2_read_transactions <- c.l2_read_transactions + 1;
+          let o = L2.access t.l2 ~addr ~write:false in
+          if not o.hit then c.dram_read_transactions <- c.dram_read_transactions + 1;
+          if o.writeback then
+            c.dram_write_transactions <- c.dram_write_transactions + 1
+        end)
+      (lines_of t.dev addrs)
+  end
+
+let global_store_warp ?(serial = false) t addrs =
+  let n = active addrs in
+  if n > 0 then begin
+    let c = t.total in
+    c.gst_inst <- c.gst_inst + n;
+    List.iter
+      (fun line ->
+        c.gst_transactions <- c.gst_transactions + 1;
+        if serial then c.serial_store_transactions <- c.serial_store_transactions + 1;
+        c.l2_write_transactions <- c.l2_write_transactions + 1;
+        let o = L2.access t.l2 ~addr:(line * t.dev.line_bytes) ~write:true in
+        if o.writeback then c.dram_write_transactions <- c.dram_write_transactions + 1)
+      (lines_of t.dev addrs)
+  end
+
+(* Bank conflicts: transactions = max over banks of the number of distinct
+   words requested in that bank (same word broadcast counts once). *)
+let bank_transactions dev addrs =
+  let banks = dev.Device.banks in
+  let per_bank = Array.make banks [] in
+  Array.iter
+    (function
+      | None -> ()
+      | Some w ->
+          let b = ((w mod banks) + banks) mod banks in
+          if not (List.mem w per_bank.(b)) then per_bank.(b) <- w :: per_bank.(b))
+    addrs;
+  Array.fold_left (fun m l -> max m (List.length l)) 0 per_bank
+
+let shared_load_warp ?(replay = 1) t addrs =
+  let n = active addrs in
+  if n > 0 then begin
+    let c = t.total in
+    c.shared_load_requests <- c.shared_load_requests + 1;
+    c.shared_load_transactions <-
+      c.shared_load_transactions + (replay * max 1 (bank_transactions t.dev addrs))
+  end
+
+let shared_store_warp ?(replay = 1) t addrs =
+  let n = active addrs in
+  if n > 0 then begin
+    let c = t.total in
+    c.shared_store_requests <- c.shared_store_requests + 1;
+    c.shared_store_transactions <-
+      c.shared_store_transactions + (replay * max 1 (bank_transactions t.dev addrs))
+  end
+
+let flops_warp t ~active ~per_lane =
+  if active > 0 then t.total.flops <- t.total.flops + (active * per_lane)
+
+let sync t = t.total.syncs <- t.total.syncs + 1
+
+(* Analytic time of one launch from its counter deltas: roofline over the
+   four throughput resources, plus serialized barrier cost and fixed
+   launch overhead. *)
+let launch_time (dev : Device.t) ~blocks (d : Counters.t) =
+  let concurrency =
+    if blocks <= 0 then 1.0 else Float.min 1.0 (float_of_int blocks /. float_of_int dev.sms)
+  in
+  let line = float_of_int dev.line_bytes in
+  let t_compute =
+    float_of_int d.flops
+    /. (Device.peak_gflops dev *. 1e9 *. dev.issue_efficiency *. concurrency)
+  in
+  let t_dram =
+    float_of_int (d.dram_read_transactions + d.dram_write_transactions)
+    *. line
+    /. (dev.dram_bw_gbs *. 1e9 *. dev.dram_efficiency)
+  in
+  let t_l2 =
+    float_of_int (d.l2_read_transactions + d.l2_write_transactions)
+    *. line /. (dev.l2_bw_gbs *. 1e9)
+  in
+  let sm_hz = float_of_int dev.sms *. dev.clock_ghz *. 1e9 *. concurrency in
+  let t_shared =
+    float_of_int (d.shared_load_transactions + d.shared_store_transactions) /. sm_hz
+  in
+  (* LSU throughput: warp-level global requests cost several cycles even
+     on L1 hits (Fermi MSHR/issue limits) *)
+  let t_lsu =
+    (float_of_int d.gld_requests +. (float_of_int d.gst_inst /. 32.0))
+    *. dev.gmem_request_cycles /. sm_hz
+  in
+  let t_sync = float_of_int d.syncs *. dev.sync_cycles /. sm_hz in
+  (* a dedicated copy-out phase does not overlap computation *)
+  let t_serial =
+    float_of_int d.serial_store_transactions *. line /. (dev.l2_bw_gbs *. 1e9)
+  in
+  Float.max
+    (Float.max (Float.max t_compute t_dram) (Float.max t_l2 t_shared))
+    t_lsu
+  +. t_serial +. t_sync +. dev.launch_overhead_s
+
+(* Deterministic scrambled block order: visit i -> (i*stride + 1) mod n for
+   a stride coprime with n. *)
+let scrambled n =
+  let rec coprime s = if Hextile_util.Intutil.gcd s n = 1 then s else coprime (s + 1) in
+  let stride = if n <= 2 then 1 else coprime (max 1 ((n * 5 / 8) + 1)) in
+  Array.init n (fun i -> ((i * stride) + 1) mod n)
+
+let launch t ~name ~blocks ~threads ~shared_bytes ~f =
+  if threads > t.dev.max_threads_per_block then
+    invalid_arg
+      (Fmt.str "Sim.launch %s: %d threads exceed device limit %d" name threads
+         t.dev.max_threads_per_block);
+  if shared_bytes > t.dev.shared_mem_bytes then
+    invalid_arg
+      (Fmt.str "Sim.launch %s: %d B shared memory exceed device limit %d" name
+         shared_bytes t.dev.shared_mem_bytes);
+  if blocks > 0 then begin
+    let before = Counters.copy t.total in
+    t.blocks_in_flight <- blocks;
+    Array.iter
+      (fun b ->
+        (* fresh per-block L1 (Fermi L1 is per SM and not coherent) *)
+        L2.reset t.l1;
+        f b)
+      (scrambled blocks);
+    t.blocks_in_flight <- 0;
+    t.total.kernels <- t.total.kernels + 1;
+    let delta = Counters.diff t.total before in
+    delta.kernels <- 1;
+    let time_s = launch_time t.dev ~blocks delta in
+    t.launches <-
+      { lname = name; blocks; threads; shared_bytes; delta; time_s } :: t.launches
+  end
+
+let kernel_time t = List.fold_left (fun acc l -> acc +. l.time_s) 0.0 t.launches
+
+let transfer_time t ~bytes =
+  2.0 *. float_of_int bytes /. (t.dev.pcie_bw_gbs *. 1e9)
+
+let pp_launches ppf t =
+  List.iter
+    (fun l ->
+      Fmt.pf ppf "%s: %d blocks x %d threads, %.2e s@," l.lname l.blocks l.threads
+        l.time_s)
+    (List.rev t.launches)

@@ -1,0 +1,74 @@
+(** The CUDA-execution-model simulator.
+
+    Scheme executors describe their kernels as OCaml code that walks
+    blocks and warps, reporting every memory instruction with the concrete
+    per-lane addresses; the simulator derives coalescing (128-byte
+    transactions), L2/DRAM traffic, shared-memory bank conflicts and an
+    analytic execution time per kernel launch (roofline over compute,
+    DRAM, L2 and shared-memory throughput, plus launch and barrier
+    overheads).
+
+    Blocks of one launch are executed sequentially but in a scrambled
+    order, so schedules that wrongly assume an ordering between
+    concurrent blocks tend to fail functional verification. *)
+
+type t = {
+  dev : Device.t;
+  total : Counters.t;
+  l2 : L2.t;
+  l1 : L2.t;  (** per-SM L1 model, reset at block boundaries *)
+  addr : Addrmap.t;
+  mutable launches : launch list;
+  mutable blocks_in_flight : int;  (** of the current launch *)
+}
+
+and launch = {
+  lname : string;
+  blocks : int;
+  threads : int;
+  shared_bytes : int;
+  delta : Counters.t;
+  time_s : float;
+}
+
+val create : Device.t -> t
+
+val launch :
+  t ->
+  name:string ->
+  blocks:int ->
+  threads:int ->
+  shared_bytes:int ->
+  f:(int -> unit) ->
+  unit
+(** Run a kernel: [f block_id] once per block (scrambled order). Raises
+    [Invalid_argument] if [threads] or [shared_bytes] exceed the device
+    limits. *)
+
+(** {2 Warp-level events} — call from inside [f]. Address arrays have one
+    entry per lane ([None] = inactive lane) and at most [warp_size]
+    entries. Global addresses are bytes (from {!Addrmap.addr}); shared
+    addresses are word indices into the block's shared memory. *)
+
+val global_load_warp : t -> int option array -> unit
+val global_store_warp : ?serial:bool -> t -> int option array -> unit
+(** [serial] marks stores of a dedicated copy-out phase; their time is
+    added on top of the roofline rather than overlapped. *)
+
+val shared_load_warp : ?replay:int -> t -> int option array -> unit
+(** [replay] multiplies the bank-conflict transaction count (models
+    layout-induced replays that the address trace alone cannot see). *)
+
+val shared_store_warp : ?replay:int -> t -> int option array -> unit
+val flops_warp : t -> active:int -> per_lane:int -> unit
+val sync : t -> unit
+
+(** {2 Results} *)
+
+val kernel_time : t -> float
+(** Sum of launch times. *)
+
+val transfer_time : t -> bytes:int -> float
+(** Host↔device copy estimate over PCIe for [bytes] in each direction. *)
+
+val pp_launches : t Fmt.t

@@ -1,0 +1,58 @@
+type t = { const : int; terms : (string * int) list }
+
+let norm terms =
+  terms
+  |> List.filter (fun (_, c) -> c <> 0)
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let const c = { const = c; terms = [] }
+let param p = { const = 0; terms = [ (p, 1) ] }
+
+let merge f a b =
+  let rec go a b =
+    match (a, b) with
+    | [], rest -> List.map (fun (p, c) -> (p, f 0 c)) rest
+    | rest, [] -> rest
+    | (pa, ca) :: ta, (pb, cb) :: tb ->
+        let cmp = String.compare pa pb in
+        if cmp = 0 then (pa, f ca cb) :: go ta tb
+        else if cmp < 0 then (pa, ca) :: go ta b
+        else (pb, f 0 cb) :: go a tb
+  in
+  norm (go a b)
+
+let add a b = { const = a.const + b.const; terms = merge ( + ) a.terms b.terms }
+let sub a b = { const = a.const - b.const; terms = merge ( - ) a.terms b.terms }
+
+let scale k a =
+  { const = k * a.const; terms = norm (List.map (fun (p, c) -> (p, k * c)) a.terms) }
+
+let add_const a k = { a with const = a.const + k }
+
+let eval a env = List.fold_left (fun acc (p, c) -> acc + (c * env p)) a.const a.terms
+
+let params a = List.map fst a.terms
+
+let equal a b = a.const = b.const && a.terms = b.terms
+
+let is_const a = match a.terms with [] -> Some a.const | _ -> None
+
+let pp ppf a =
+  let pp_term ppf (p, c) =
+    if c = 1 then Fmt.string ppf p
+    else if c = -1 then Fmt.pf ppf "-%s" p
+    else Fmt.pf ppf "%d*%s" c p
+  in
+  match a.terms with
+  | [] -> Fmt.int ppf a.const
+  | first :: rest ->
+      pp_term ppf first;
+      List.iter
+        (fun (p, c) ->
+          if c >= 0 then Fmt.pf ppf " + %a" pp_term (p, c)
+          else Fmt.pf ppf " - %a" pp_term (p, -c))
+        rest;
+      if a.const > 0 then Fmt.pf ppf " + %d" a.const
+      else if a.const < 0 then Fmt.pf ppf " - %d" (-a.const)
+
+let to_string = Fmt.to_to_string pp

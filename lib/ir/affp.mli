@@ -1,0 +1,24 @@
+(** Affine expressions over named program parameters (e.g. [N - 2]).
+
+    Used for loop bounds and array extents, which may mention the problem
+    size parameters but not the loop iterators. *)
+
+type t = { const : int; terms : (string * int) list }
+(** [const + Σ coeff·param]; [terms] is sorted by parameter name and
+    contains no zero coefficients. *)
+
+val const : int -> t
+val param : string -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : int -> t -> t
+val add_const : t -> int -> t
+
+val eval : t -> (string -> int) -> int
+(** Raises whatever the environment function raises on unknown params. *)
+
+val params : t -> string list
+val equal : t -> t -> bool
+val is_const : t -> int option
+val pp : t Fmt.t
+val to_string : t -> string

@@ -1,0 +1,61 @@
+type stmt_chars = { stmt : string; loads : int; flops : int }
+
+type t = {
+  program : string;
+  per_stmt : stmt_chars list;
+  spatial_dims : int;
+  data_points : Affp.t;
+  steps : Affp.t;
+}
+
+let characterize (p : Stencil.t) =
+  let per_stmt =
+    List.map
+      (fun (s : Stencil.stmt) ->
+        {
+          stmt = s.sname;
+          loads = List.length (Stencil.distinct_reads s);
+          flops = Stencil.flops s;
+        })
+      p.stmts
+  in
+  let data_points =
+    match p.stmts with
+    | [] -> Affp.const 0
+    | s :: _ -> Array.fold_left (fun acc e -> Affp.add acc e) (Affp.const 0) s.hi
+  in
+  {
+    program = p.name;
+    per_stmt;
+    spatial_dims = Stencil.spatial_dims p;
+    data_points;
+    steps = p.steps;
+  }
+
+let data_size_string (p : Stencil.t) =
+  match p.arrays with
+  | [] -> "0"
+  | a :: _ ->
+      let exts = Array.to_list (Array.map Affp.to_string a.extents) in
+      let all_same =
+        match exts with e :: rest -> List.for_all (String.equal e) rest | [] -> false
+      in
+      if all_same then Fmt.str "%s^%d" (List.hd exts) (List.length exts)
+      else String.concat "x" exts
+
+let footprint_floats (p : Stencil.t) env =
+  List.fold_left
+    (fun acc (a : Stencil.array_decl) ->
+      let spatial =
+        Array.fold_left (fun acc e -> acc * Affp.eval e env) 1 a.extents
+      in
+      acc + (spatial * match a.fold with Some m -> m | None -> 1))
+    0 p.arrays
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>%s (%dD): data=%a steps=%a@," t.program t.spatial_dims Affp.pp
+    t.data_points Affp.pp t.steps;
+  List.iter
+    (fun c -> Fmt.pf ppf "  %s: loads=%d flops=%d@," c.stmt c.loads c.flops)
+    t.per_stmt;
+  Fmt.pf ppf "@]"

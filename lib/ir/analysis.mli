@@ -1,0 +1,23 @@
+(** Static characteristics of a stencil program — the quantities of the
+    paper's Table 3 (loads, FLOPs per stencil, data size, steps). *)
+
+type stmt_chars = { stmt : string; loads : int; flops : int }
+
+type t = {
+  program : string;
+  per_stmt : stmt_chars list;
+  spatial_dims : int;
+  data_points : Affp.t;  (** product description, e.g. N^2, as text *)
+  steps : Affp.t;
+}
+
+val characterize : Stencil.t -> t
+
+val data_size_string : Stencil.t -> string
+(** Human form like "3072^2" when extents are a repeated parameter, else
+    the explicit product. *)
+
+val footprint_floats : Stencil.t -> (string -> int) -> int
+(** Total float elements allocated across all arrays (folds included). *)
+
+val pp : t Fmt.t

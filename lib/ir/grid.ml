@@ -1,0 +1,84 @@
+open Hextile_util
+
+type t = { decl : Stencil.array_decl; dims : int array; data : float array }
+
+(* SplitMix-style hash for deterministic initial grid contents. *)
+let hash_init seed i =
+  let z = ref (Int64.of_int ((seed * 0x9E3779B1) + (i * 0x85EBCA77))) in
+  z := Int64.mul !z 0xBF58476D1CE4E5B9L;
+  z := Int64.logxor !z (Int64.shift_right_logical !z 31);
+  z := Int64.mul !z 0x94D049BB133111EBL;
+  let v = Int64.to_int (Int64.logand !z 0xFFFFFFL) in
+  float_of_int v /. float_of_int 0x1000000
+
+let alloc (prog : Stencil.t) env =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (decl : Stencil.array_decl) ->
+      let spatial = Array.map (fun e -> Affp.eval e env) decl.extents in
+      let dims =
+        match decl.fold with
+        | Some m -> Array.append [| m |] spatial
+        | None -> spatial
+      in
+      let size = Array.fold_left ( * ) 1 dims in
+      let seed = Hashtbl.hash decl.aname in
+      let data = Array.init size (hash_init seed) in
+      Hashtbl.replace tbl decl.aname { decl; dims; data })
+    prog.arrays;
+  tbl
+
+let offset g idx =
+  if Array.length idx <> Array.length g.dims then
+    invalid_arg
+      (Fmt.str "Grid.offset: %s expects %d indices, got %d" g.decl.aname
+         (Array.length g.dims) (Array.length idx));
+  let off = ref 0 in
+  Array.iteri
+    (fun i x ->
+      if x < 0 || x >= g.dims.(i) then
+        invalid_arg
+          (Fmt.str "Grid.offset: %s index %d out of bounds (dim %d, extent %d)"
+             g.decl.aname x i g.dims.(i));
+      off := (!off * g.dims.(i)) + x)
+    idx;
+  !off
+
+let get g idx = g.data.(offset g idx)
+let set g idx v = g.data.(offset g idx) <- v
+
+let slot g tau = match g.decl.fold with Some m -> Intutil.fmod tau m | None -> 0
+
+let full_index g (a : Stencil.access) ~time ~point =
+  let spatial = Array.mapi (fun i o -> point.(i) + o) a.offsets in
+  match g.decl.fold with
+  | Some _ -> Array.append [| slot g (time + a.time_off) |] spatial
+  | None -> spatial
+
+let find tbl name =
+  match Hashtbl.find_opt tbl name with
+  | Some g -> g
+  | None -> invalid_arg ("Grid.find: unknown array " ^ name)
+
+let read_access tbl (a : Stencil.access) ~t ~point =
+  let g = find tbl a.array in
+  get g (full_index g a ~time:t ~point)
+
+let write_access tbl (a : Stencil.access) ~t ~point v =
+  let g = find tbl a.array in
+  set g (full_index g a ~time:t ~point) v
+
+let flat_index_of_access g (a : Stencil.access) ~time ~point =
+  offset g (full_index g a ~time ~point)
+
+let checksum g = Array.fold_left ( +. ) 0.0 g.data
+
+let equal ?(eps = 0.0) a b =
+  Array.length a.data = Array.length b.data
+  && a.dims = b.dims
+  &&
+  let ok = ref true in
+  Array.iteri
+    (fun i v -> if Float.abs (v -. b.data.(i)) > eps then ok := false)
+    a.data;
+  !ok

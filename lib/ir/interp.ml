@@ -1,0 +1,72 @@
+let rec eval_fexpr tbl (e : Stencil.fexpr) ~t ~point =
+  match e with
+  | Read a -> Grid.read_access tbl a ~t ~point
+  | Fconst f -> f
+  | Neg e -> -.eval_fexpr tbl e ~t ~point
+  | Bin (op, l, r) -> (
+      let a = eval_fexpr tbl l ~t ~point and b = eval_fexpr tbl r ~t ~point in
+      match op with
+      | Add -> a +. b
+      | Sub -> a -. b
+      | Mul -> a *. b
+      | Div -> a /. b)
+
+let rec eval_with ~read (e : Stencil.fexpr) ~point =
+  match e with
+  | Read a -> read a point
+  | Fconst f -> f
+  | Neg e -> -.eval_with ~read e ~point
+  | Bin (op, l, r) -> (
+      let a = eval_with ~read l ~point and b = eval_with ~read r ~point in
+      match op with
+      | Add -> a +. b
+      | Sub -> a -. b
+      | Mul -> a *. b
+      | Div -> a /. b)
+
+let exec_instance tbl (s : Stencil.stmt) ~t ~point =
+  let v = eval_fexpr tbl s.rhs ~t ~point in
+  Grid.write_access tbl s.write ~t ~point v
+
+(* Iterate a box domain in row-major order. *)
+let iter_box lo hi f =
+  let n = Array.length lo in
+  let point = Array.make n 0 in
+  let rec go d =
+    if d = n then f point
+    else
+      for x = lo.(d) to hi.(d) do
+        point.(d) <- x;
+        go (d + 1)
+      done
+  in
+  go 0
+
+let domain_bounds (s : Stencil.stmt) env =
+  ( Array.map (fun e -> Affp.eval e env) s.lo,
+    Array.map (fun e -> Affp.eval e env) s.hi )
+
+let run (prog : Stencil.t) env =
+  let tbl = Grid.alloc prog env in
+  let steps = Affp.eval prog.steps env in
+  for t = 0 to steps - 1 do
+    List.iter
+      (fun (s : Stencil.stmt) ->
+        let lo, hi = domain_bounds s env in
+        iter_box lo hi (fun point -> exec_instance tbl s ~t ~point))
+      prog.stmts
+  done;
+  tbl
+
+let stencil_updates (prog : Stencil.t) env =
+  let steps = Affp.eval prog.steps env in
+  let per_step =
+    List.fold_left
+      (fun acc (s : Stencil.stmt) ->
+        let lo, hi = domain_bounds s env in
+        let size = ref 1 in
+        Array.iteri (fun i l -> size := !size * max 0 (hi.(i) - l + 1)) lo;
+        acc + !size)
+      0 prog.stmts
+  in
+  steps * per_step

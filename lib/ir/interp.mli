@@ -1,0 +1,24 @@
+(** Reference interpreter: sequential, textual-order execution of a
+    stencil program. Ground truth for every tiled/simulated schedule. *)
+
+val eval_fexpr :
+  (string, Grid.t) Hashtbl.t -> Stencil.fexpr -> t:int -> point:int array -> float
+(** Evaluate a right-hand side at a statement instance. *)
+
+val eval_with :
+  read:(Stencil.access -> int array -> float) ->
+  Stencil.fexpr ->
+  point:int array ->
+  float
+(** Evaluate with a custom read function (e.g. against a snapshot or a
+    simulated shared-memory buffer). *)
+
+val exec_instance : (string, Grid.t) Hashtbl.t -> Stencil.stmt -> t:int -> point:int array -> unit
+(** Execute one statement instance (evaluate rhs, store). *)
+
+val run : Stencil.t -> (string -> int) -> (string, Grid.t) Hashtbl.t
+(** Allocate, initialise and run the whole program; returns final grids. *)
+
+val stencil_updates : Stencil.t -> (string -> int) -> int
+(** Total number of statement instances executed — the "stencils" of the
+    paper's GStencils/second metric. *)

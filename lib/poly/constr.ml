@@ -1,0 +1,94 @@
+open Hextile_util
+
+type kind = Ge | Eq
+
+type t = { coeffs : int array; const : int; kind : kind }
+
+let ge coeffs const = { coeffs; const; kind = Ge }
+let eq coeffs const = { coeffs; const; kind = Eq }
+
+let dim t = Array.length t.coeffs
+
+let eval t x =
+  let acc = ref t.const in
+  Array.iteri (fun i c -> acc := !acc + (c * x.(i))) t.coeffs;
+  !acc
+
+let holds t x =
+  let v = eval t x in
+  match t.kind with Ge -> v >= 0 | Eq -> v = 0
+
+let coeff t i = t.coeffs.(i)
+
+let all_zero t = Array.for_all (fun c -> c = 0) t.coeffs
+
+let is_trivial t =
+  all_zero t && (match t.kind with Ge -> t.const >= 0 | Eq -> t.const = 0)
+
+let is_absurd t =
+  all_zero t && (match t.kind with Ge -> t.const < 0 | Eq -> t.const <> 0)
+
+let normalize t =
+  let g = Array.fold_left (fun g c -> Intutil.gcd g c) 0 t.coeffs in
+  if g = 0 || g = 1 then t
+  else
+    match t.kind with
+    | Ge ->
+        {
+          coeffs = Array.map (fun c -> c / g) t.coeffs;
+          const = Intutil.fdiv t.const g;
+          kind = Ge;
+        }
+    | Eq ->
+        if t.const mod g <> 0 then t (* unsatisfiable over Z; keep as-is *)
+        else
+          {
+            coeffs = Array.map (fun c -> c / g) t.coeffs;
+            const = t.const / g;
+            kind = Eq;
+          }
+
+let scale t k =
+  assert (k > 0);
+  { t with coeffs = Array.map (fun c -> c * k) t.coeffs; const = t.const * k }
+
+let combine a c1 b c2 =
+  (match c1.kind with Ge -> assert (a >= 0) | Eq -> ());
+  (match c2.kind with Ge -> assert (b >= 0) | Eq -> ());
+  let coeffs =
+    Array.init (dim c1) (fun i -> (a * c1.coeffs.(i)) + (b * c2.coeffs.(i)))
+  in
+  let kind = match (c1.kind, c2.kind) with Eq, Eq -> Eq | _ -> Ge in
+  { coeffs; const = (a * c1.const) + (b * c2.const); kind }
+
+let insert_dims t ~at ~count =
+  let n = dim t in
+  let coeffs =
+    Array.init (n + count) (fun i ->
+        if i < at then t.coeffs.(i)
+        else if i < at + count then 0
+        else t.coeffs.(i - count))
+  in
+  { t with coeffs }
+
+let pp space ppf t =
+  let first = ref true in
+  let term ppf (c, i) =
+    let name = Space.name space i in
+    if c = 1 then Fmt.string ppf name
+    else if c = -1 then Fmt.pf ppf "-%s" name
+    else Fmt.pf ppf "%d%s" c name
+  in
+  Array.iteri
+    (fun i c ->
+      if c <> 0 then begin
+        if !first then Fmt.pf ppf "%a" term (c, i)
+        else if c > 0 then Fmt.pf ppf " + %a" term (c, i)
+        else Fmt.pf ppf " - %a" term (-c, i);
+        first := false
+      end)
+    t.coeffs;
+  if !first then Fmt.int ppf t.const
+  else if t.const > 0 then Fmt.pf ppf " + %d" t.const
+  else if t.const < 0 then Fmt.pf ppf " - %d" (-t.const);
+  Fmt.string ppf (match t.kind with Ge -> " >= 0" | Eq -> " = 0")

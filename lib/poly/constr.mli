@@ -1,0 +1,46 @@
+(** Affine constraints over integer variables.
+
+    A constraint denotes [coeffs · x + const ≥ 0] (kind [Ge]) or
+    [coeffs · x + const = 0] (kind [Eq]) for integer vectors [x]. *)
+
+type kind = Ge | Eq
+
+type t = { coeffs : int array; const : int; kind : kind }
+
+val ge : int array -> int -> t
+(** [ge coeffs const] is [coeffs·x + const ≥ 0]. The array is not copied. *)
+
+val eq : int array -> int -> t
+
+val dim : t -> int
+
+val eval : t -> int array -> int
+(** Value of the affine form at a point. *)
+
+val holds : t -> int array -> bool
+
+val coeff : t -> int -> int
+
+val is_trivial : t -> bool
+(** No variable occurs and the constraint is satisfied (e.g. [3 ≥ 0]). *)
+
+val is_absurd : t -> bool
+(** No variable occurs and the constraint is violated. *)
+
+val normalize : t -> t
+(** Divide through by the gcd of the coefficients; for inequalities the
+    constant is tightened to [⌊const/g⌋], which is exact on integer
+    points. *)
+
+val scale : t -> int -> t
+(** [scale c k] multiplies the affine form by [k > 0] (direction kept). *)
+
+val combine : int -> t -> int -> t -> t
+(** [combine a c1 b c2] is the constraint [a·c1 + b·c2]; both multipliers
+    must be valid for the kinds involved (positive for [Ge]); the result is
+    [Eq] only if both inputs are [Eq]. *)
+
+val insert_dims : t -> at:int -> count:int -> t
+(** Add [count] fresh zero-coefficient dimensions at position [at]. *)
+
+val pp : Space.t -> t Fmt.t

@@ -1,0 +1,19 @@
+type t = { dom : Space.t; rng : Space.t; exprs : Qaff.t array }
+
+let make ~dom ~rng exprs =
+  assert (Array.length exprs = Space.dim rng);
+  Array.iter (fun e -> assert (Qaff.max_var e < Space.dim dom)) exprs;
+  { dom; rng; exprs = Array.map Qaff.simplify exprs }
+
+let dom t = t.dom
+let rng t = t.rng
+let exprs t = t.exprs
+let apply t x = Array.map (fun e -> Qaff.eval e x) t.exprs
+let output t i = t.exprs.(i)
+
+let compare_points t a b = compare (apply t a) (apply t b)
+
+let pp ppf t =
+  Fmt.pf ppf "%a -> [@[%a@]]" Space.pp t.dom
+    Fmt.(array ~sep:(any ",@ ") (Qaff.pp t.dom))
+    t.exprs

@@ -1,0 +1,26 @@
+(** Quasi-affine maps between integer spaces.
+
+    A [Qmap.t] sends points of a domain space to points of a range space,
+    one quasi-affine expression per output dimension — the representation
+    used for schedules such as
+    [[t, s0] -> [T, p, S0, t', s0']]. *)
+
+type t
+
+val make : dom:Space.t -> rng:Space.t -> Qaff.t array -> t
+(** One expression per range dimension; expressions index domain dims. *)
+
+val dom : t -> Space.t
+val rng : t -> Space.t
+val exprs : t -> Qaff.t array
+
+val apply : t -> int array -> int array
+(** Evaluate at a domain point. *)
+
+val output : t -> int -> Qaff.t
+
+val compare_points : t -> int array -> int array -> int
+(** Lexicographic comparison of the images of two domain points — the
+    execution order defined by the schedule. *)
+
+val pp : t Fmt.t

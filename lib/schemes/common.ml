@@ -1,0 +1,359 @@
+open Hextile_ir
+open Hextile_gpusim
+open Hextile_util
+
+type compiled = {
+  ceval : int -> int array -> float;  (** tstep -> point -> value *)
+  cwgrid : Grid.t;
+  cwflat : int -> int array -> int;  (** tstep -> point -> flat write index *)
+  creads : (Grid.t * (int -> int array -> int)) list;  (** per distinct read *)
+}
+
+type ctx = {
+  sim : Sim.t;
+  prog : Stencil.t;
+  env : string -> int;
+  grids : (string, Grid.t) Hashtbl.t;
+  k : int;
+  dims : int;
+  steps : int;
+  stmts : Stencil.stmt array;
+  lo : int array array;
+  hi : int array array;
+  mutable updates : int;
+  compiled : (string, compiled) Hashtbl.t;
+}
+
+let make_ctx (prog : Stencil.t) env dev =
+  (match Stencil.validate prog with
+  | Ok () -> ()
+  | Error m -> invalid_arg ("Common.make_ctx: " ^ m));
+  let stmts = Array.of_list prog.stmts in
+  {
+    sim = Sim.create dev;
+    prog;
+    env;
+    grids = Grid.alloc prog env;
+    k = Array.length stmts;
+    dims = Stencil.spatial_dims prog;
+    steps = Affp.eval prog.steps env;
+    stmts;
+    lo = Array.map (fun (s : Stencil.stmt) -> Array.map (fun e -> Affp.eval e env) s.lo) stmts;
+    hi = Array.map (fun (s : Stencil.stmt) -> Array.map (fun e -> Affp.eval e env) s.hi) stmts;
+    updates = 0;
+    compiled = Hashtbl.create 8;
+  }
+
+(* Compile an access into a closure computing the flat element index
+   without allocation. *)
+let access_flat grids (a : Stencil.access) =
+  let g = Grid.find grids a.array in
+  let dims = g.dims in
+  let fold = g.decl.fold in
+  let ns = Array.length a.offsets in
+  let base_j = Array.length dims - ns in
+  let offsets = a.offsets in
+  let toff = a.time_off in
+  fun tstep (point : int array) ->
+    let off =
+      ref (match fold with Some m -> Intutil.fmod (tstep + toff) m | None -> 0)
+    in
+    for d = 0 to ns - 1 do
+      let c = point.(d) + offsets.(d) in
+      let ext = dims.(base_j + d) in
+      if c < 0 || c >= ext then
+        invalid_arg (Fmt.str "access to %s out of bounds (dim %d: %d)" a.array d c);
+      off := (!off * ext) + c
+    done;
+    !off
+
+let compile_stmt (ctx : ctx) (s : Stencil.stmt) =
+  match Hashtbl.find_opt ctx.compiled s.sname with
+  | Some c -> c
+  | None ->
+      let rec comp (e : Stencil.fexpr) =
+        match e with
+        | Read a ->
+            let g = Grid.find ctx.grids a.array in
+            let fl = access_flat ctx.grids a in
+            fun tstep point -> g.data.(fl tstep point)
+        | Fconst f -> fun _ _ -> f
+        | Neg e ->
+            let c = comp e in
+            fun t p -> -.c t p
+        | Bin (op, l, r) -> (
+            let cl = comp l and cr = comp r in
+            match op with
+            | Add -> fun t p -> cl t p +. cr t p
+            | Sub -> fun t p -> cl t p -. cr t p
+            | Mul -> fun t p -> cl t p *. cr t p
+            | Div -> fun t p -> cl t p /. cr t p)
+      in
+      let c =
+        {
+          ceval = comp s.rhs;
+          cwgrid = Grid.find ctx.grids s.write.array;
+          cwflat = access_flat ctx.grids s.write;
+          creads =
+            List.map
+              (fun (a : Stencil.access) ->
+                (Grid.find ctx.grids a.array, access_flat ctx.grids a))
+              (Stencil.distinct_reads s);
+        }
+      in
+      Hashtbl.replace ctx.compiled s.sname c;
+      c
+
+type result = {
+  scheme : string;
+  device : Device.t;
+  counters : Counters.t;
+  kernel_time : float;
+  transfer_time : float;
+  updates : int;
+  grids : (string, Grid.t) Hashtbl.t;
+}
+
+let finish ctx ~scheme =
+  let bytes = 4 * Analysis.footprint_floats ctx.prog ctx.env in
+  {
+    scheme;
+    device = ctx.sim.dev;
+    counters = ctx.sim.total;
+    kernel_time = Sim.kernel_time ctx.sim;
+    transfer_time = Sim.transfer_time ctx.sim ~bytes;
+    updates = ctx.updates;
+    grids = ctx.grids;
+  }
+
+let total_time r = r.kernel_time +. r.transfer_time
+let gstencils_per_s r = float_of_int r.updates /. total_time r /. 1e9
+let gflops r ~flops_per_update =
+  float_of_int r.updates *. flops_per_update /. total_time r /. 1e9
+
+type box = { blo : int array; bhi : int array }
+
+let empty_box ~dims = { blo = Array.make dims max_int; bhi = Array.make dims min_int }
+let box_is_empty b = Array.exists2 (fun l h -> l > h) b.blo b.bhi
+let box_count b =
+  if box_is_empty b then 0
+  else Array.fold_left ( * ) 1 (Array.map2 (fun l h -> h - l + 1) b.blo b.bhi)
+
+let grow b p =
+  Array.iteri
+    (fun i x ->
+      if x < b.blo.(i) then b.blo.(i) <- x;
+      if x > b.bhi.(i) then b.bhi.(i) <- x)
+    p
+
+let box_inter a b =
+  {
+    blo = Array.map2 max a.blo b.blo;
+    bhi = Array.map2 min a.bhi b.bhi;
+  }
+
+module Layout = struct
+  type nonrec t = {
+    entries : (string * int, box * int) Hashtbl.t;
+    mutable next : int;
+  }
+
+  let create () = { entries = Hashtbl.create 8; next = 0 }
+
+  let add t ~array ~slot box =
+    if not (box_is_empty box) then begin
+      Hashtbl.replace t.entries (array, slot) (box, t.next);
+      t.next <- t.next + box_count box
+    end
+
+  let find t ~array ~slot =
+    Option.map fst (Hashtbl.find_opt t.entries (array, slot))
+
+  let addr t ~array ~slot point =
+    match Hashtbl.find_opt t.entries (array, slot) with
+    | None -> 0
+    | Some (box, base) ->
+        let off = ref 0 in
+        Array.iteri
+          (fun d x ->
+            let x = max box.blo.(d) (min box.bhi.(d) x) in
+            off := (!off * (box.bhi.(d) - box.blo.(d) + 1)) + (x - box.blo.(d)))
+          point;
+        base + !off
+
+  let words t = t.next
+  let iter t ~f = Hashtbl.iter (fun (array, slot) (box, _) -> f ~array ~slot box) t.entries
+end
+
+let warp_size = 32
+
+(* Full index of a spatial point in a possibly folded grid. *)
+let full_index (g : Grid.t) ~slot point =
+  match g.decl.fold with
+  | Some _ -> Array.append [| slot |] point
+  | None -> point
+
+let flat (g : Grid.t) ~slot point = Grid.offset g (full_index g ~slot point)
+
+let iter_box_rows box ~f =
+  if not (box_is_empty box) then begin
+    let dims = Array.length box.blo in
+    let point = Array.copy box.blo in
+    let rec go d =
+      if d = dims - 1 then f point
+      else
+        for x = box.blo.(d) to box.bhi.(d) do
+          point.(d) <- x;
+          go (d + 1)
+        done
+    in
+    go 0
+  end
+
+let chunks_of xs f =
+  let n = Array.length xs in
+  let i = ref 0 in
+  while !i < n do
+    let len = min warp_size (n - !i) in
+    f (Array.sub xs !i len);
+    i := !i + len
+  done
+
+let exec_stmt_row ctx ~stmt ~tstep ~point ~xs ?read_value ?write_value
+    ?(count = true) ?loads_subset ~global_reads ~shared_replay
+    ~interleave_store ~use_shared ~shared_addr () =
+  let s : Stencil.stmt = stmt in
+  let n = Array.length xs in
+  if n > 0 then begin
+    let xdim = ctx.dims - 1 in
+    let x0 = xs.(0) in
+    let reads =
+      match loads_subset with
+      | Some l -> l
+      | None -> Stencil.distinct_reads s
+    in
+    let nflops = Stencil.flops s in
+    let c = compile_stmt ctx s in
+    point.(xdim) <- x0;
+    (* Per-row base addresses; lanes advance with stride 1 along x (the
+       innermost storage dimension). *)
+    let read_bases =
+      if global_reads then
+        let flats =
+          match loads_subset with
+          | None -> c.creads
+          | Some l ->
+              List.map
+                (fun (a : Stencil.access) ->
+                  (Grid.find ctx.grids a.array, access_flat ctx.grids a))
+                l
+        in
+        List.map
+          (fun (g, fl) -> Addrmap.base ctx.sim.addr g + (4 * fl tstep point))
+          flats
+      else List.map (fun (r : Stencil.access) -> shared_addr r ~point) reads
+    in
+    let wbase_global =
+      if interleave_store || not use_shared then
+        Addrmap.base ctx.sim.addr c.cwgrid + (4 * c.cwflat tstep point)
+      else 0
+    and wbase_shared = if use_shared then shared_addr s.write ~point else 0 in
+    chunks_of xs (fun lane_xs ->
+        let nlanes = Array.length lane_xs in
+        let dx0 = lane_xs.(0) - x0 in
+        (* loads *)
+        if global_reads then
+          List.iter
+            (fun base ->
+              Sim.global_load_warp ctx.sim
+                (Array.init nlanes (fun i -> Some (base + (4 * (dx0 + i))))))
+            read_bases
+        else
+          List.iter
+            (fun base ->
+              Sim.shared_load_warp ~replay:shared_replay ctx.sim
+                (Array.init nlanes (fun i -> Some (base + dx0 + i))))
+            read_bases;
+        (* arithmetic *)
+        Sim.flops_warp ctx.sim ~active:nlanes ~per_lane:nflops;
+        (* store accounting *)
+        if use_shared then
+          Sim.shared_store_warp ~replay:shared_replay ctx.sim
+            (Array.init nlanes (fun i -> Some (wbase_shared + dx0 + i)));
+        if interleave_store || not use_shared then
+          Sim.global_store_warp ctx.sim
+            (Array.init nlanes (fun i -> Some (wbase_global + (4 * (dx0 + i)))));
+        (* functional execution *)
+        (match (read_value, write_value) with
+        | None, None ->
+            (* fast path: compiled evaluator, direct grid write *)
+            Array.iter
+              (fun x ->
+                point.(xdim) <- x;
+                c.cwgrid.data.(c.cwflat tstep point) <- c.ceval tstep point)
+              lane_xs
+        | _ ->
+            let read =
+              match read_value with
+              | Some rv -> fun a p -> rv a ~point:p
+              | None -> fun a p -> Grid.read_access ctx.grids a ~t:tstep ~point:p
+            in
+            Array.iter
+              (fun x ->
+                point.(xdim) <- x;
+                let v = Interp.eval_with ~read s.rhs ~point in
+                match write_value with
+                | Some w -> w ~point v
+                | None -> Grid.write_access ctx.grids s.write ~t:tstep ~point v)
+              lane_xs);
+        if count then ctx.updates <- ctx.updates + nlanes)
+  end
+
+let load_box_rows ctx ~grid ~slot ~box ~skip_x ~shared_addr =
+  iter_box_rows box ~f:(fun row ->
+      let xdim = Array.length row - 1 in
+      let xlo = box.blo.(xdim) and xhi = box.bhi.(xdim) in
+      let skip = skip_x row in
+      let xs =
+        let keep x = match skip with None -> true | Some (a, b) -> x < a || x > b in
+        Array.of_list (List.filter keep (Intutil.range xlo xhi))
+      in
+      if Array.length xs > 0 then begin
+        row.(xdim) <- xlo;
+        let gbase = Addrmap.addr ctx.sim.addr grid (flat grid ~slot row) in
+        let sbase = shared_addr row in
+        chunks_of xs (fun lane_xs ->
+            Sim.global_load_warp ctx.sim
+              (Array.map (fun x -> Some (gbase + (4 * (x - xlo)))) lane_xs);
+            Sim.shared_store_warp ctx.sim
+              (Array.map (fun x -> Some (sbase + x - xlo)) lane_xs))
+      end)
+
+let shared_copy_rows ctx ~box ~shared_addr =
+  iter_box_rows box ~f:(fun row ->
+      let xdim = Array.length row - 1 in
+      let xlo = box.blo.(xdim) in
+      let xs = Array.of_list (Intutil.range xlo box.bhi.(xdim)) in
+      if Array.length xs > 0 then begin
+        row.(xdim) <- xlo;
+        let sbase = shared_addr row in
+        chunks_of xs (fun lane_xs ->
+            let saddrs = Array.map (fun x -> Some (sbase + x - xlo)) lane_xs in
+            Sim.shared_load_warp ctx.sim saddrs;
+            Sim.shared_store_warp ctx.sim saddrs)
+      end)
+
+let store_cells ctx ~grid ~cells ~via_shared =
+  let arr = Array.of_list cells in
+  chunks_of arr (fun lane_cells ->
+      if via_shared then
+        Sim.shared_load_warp ctx.sim (Array.map (fun c -> Some c) lane_cells);
+      Sim.global_store_warp ~serial:true ctx.sim
+        (Array.map (fun c -> Some (Addrmap.addr ctx.sim.addr grid c)) lane_cells))
+
+let snapshot (ctx : ctx) =
+  let tbl = Hashtbl.create 8 in
+  Hashtbl.iter (fun name (g : Grid.t) -> Hashtbl.replace tbl name (Array.copy g.data)) ctx.grids;
+  tbl
+
+let snapshot_read snap (g : Grid.t) idx = (Hashtbl.find snap g.decl.aname).(idx)

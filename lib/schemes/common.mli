@@ -1,0 +1,137 @@
+(** Shared infrastructure for the scheme executors: execution context,
+    warp-chunked memory phases, per-(array, slot) boxes and results. *)
+
+open Hextile_ir
+open Hextile_gpusim
+
+type compiled
+(** Per-statement compiled evaluator (closure "JIT" over the grids). *)
+
+type ctx = {
+  sim : Sim.t;
+  prog : Stencil.t;
+  env : string -> int;
+  grids : (string, Grid.t) Hashtbl.t;
+  k : int;  (** statement count *)
+  dims : int;  (** spatial dimensions *)
+  steps : int;
+  stmts : Stencil.stmt array;
+  lo : int array array;  (** per statement, inclusive domain bounds *)
+  hi : int array array;
+  mutable updates : int;  (** statement instances executed *)
+  compiled : (string, compiled) Hashtbl.t;
+}
+
+val make_ctx : Stencil.t -> (string -> int) -> Device.t -> ctx
+
+type result = {
+  scheme : string;
+  device : Device.t;
+  counters : Counters.t;
+  kernel_time : float;
+  transfer_time : float;
+  updates : int;
+  grids : (string, Grid.t) Hashtbl.t;
+}
+
+val finish : ctx -> scheme:string -> result
+
+val total_time : result -> float
+val gstencils_per_s : result -> float
+val gflops : result -> flops_per_update:float -> float
+
+(** {2 Regions} *)
+
+type box = { blo : int array; bhi : int array }
+(** Inclusive spatial bounds; empty if any [blo > bhi]. *)
+
+val empty_box : dims:int -> box
+val box_is_empty : box -> bool
+val box_count : box -> int
+val grow : box -> int array -> unit
+(** Mutate to include a point. *)
+
+val box_inter : box -> box -> box
+
+(** {2 Shared-memory layouts} *)
+
+module Layout : sig
+  (** Per-block shared memory: one box per (array, storage slot), packed
+      row-major at consecutive base offsets. Addresses are word indices
+      (for the bank-conflict model). *)
+
+  type t
+
+  val create : unit -> t
+  val add : t -> array:string -> slot:int -> box -> unit
+  (** No-op if the box is empty. *)
+
+  val find : t -> array:string -> slot:int -> box option
+  val addr : t -> array:string -> slot:int -> int array -> int
+  (** Word address of a spatial point (clipped into the box). Returns 0
+      for unknown keys. *)
+
+  val words : t -> int
+  val iter : t -> f:(array:string -> slot:int -> box -> unit) -> unit
+end
+
+(** {2 Warp-level phases} *)
+
+val exec_stmt_row :
+  ctx ->
+  stmt:Stencil.stmt ->
+  tstep:int ->
+  point:int array ->
+  xs:int array ->
+  ?read_value:(Stencil.access -> point:int array -> float) ->
+  ?write_value:(point:int array -> float -> unit) ->
+  ?count:bool ->
+  ?loads_subset:Stencil.access list ->
+  global_reads:bool ->
+  shared_replay:int ->
+  interleave_store:bool ->
+  use_shared:bool ->
+  shared_addr:(Stencil.access -> point:int array -> int) ->
+  unit ->
+  unit
+(** Execute the instances of one statement at [tstep] for all [x ∈ xs]
+    varying the innermost dimension of [point] (other coordinates fixed),
+    chunked into warps: account one load per distinct read (global or
+    shared per [global_reads]), the statement's flops, and the store
+    (shared when [use_shared], plus global when [interleave_store] or no
+    shared memory is used); then perform the functional update.
+    [read_value] overrides where read values come from (letting
+    overlapped tiling read from snapshots) — when omitted a compiled
+    fast path reading the context grids directly is used; [write_value]
+    overrides the default write-through to the context grids; [count]
+    (default true) controls whether the instances count toward
+    [ctx.updates]; [loads_subset] restricts which reads are *accounted*
+    as loads (register tiling keeps the rest in registers across the
+    unrolled sweep — functional execution is unaffected). *)
+
+val load_box_rows :
+  ctx ->
+  grid:Grid.t ->
+  slot:int ->
+  box:box ->
+  skip_x:(int array -> (int * int) option) ->
+  shared_addr:(int array -> int) ->
+  unit
+(** Copy-in phase: global loads + shared stores over all rows of [box]
+    (x = innermost dim varies). [skip_x row] gives an x-interval already
+    present in shared memory (reuse) to exclude. Pure accounting. *)
+
+val shared_copy_rows : ctx -> box:box -> shared_addr:(int array -> int) -> unit
+(** Dynamic-reuse phase: shared-to-shared movement of a region. *)
+
+val store_cells : ctx -> grid:Grid.t -> cells:int list -> via_shared:bool -> unit
+(** Copy-out phase: store the given flat cell indices (already grouped in
+    ascending order), as warps of 32; [via_shared] adds the shared-memory
+    read feeding each store. *)
+
+val iter_box_rows : box -> f:(int array -> unit) -> unit
+(** Iterate over rows: all coordinate prefixes; the callback receives the
+    full point with x set to [blo] of the innermost dim. *)
+
+val snapshot : ctx -> (string, float array) Hashtbl.t
+val snapshot_read : (string, float array) Hashtbl.t -> Grid.t -> int -> float

@@ -1,0 +1,391 @@
+open Hextile_ir
+open Hextile_gpusim
+open Hextile_tiling
+open Hextile_util
+
+type reuse = No_reuse | Static | Dynamic
+
+type strategy = {
+  use_shared : bool;
+  interleave : bool;
+  align : bool;
+  reuse : reuse;
+}
+
+let strategy_of_step = function
+  | 'a' -> { use_shared = false; interleave = false; align = false; reuse = No_reuse }
+  | 'b' -> { use_shared = true; interleave = false; align = false; reuse = No_reuse }
+  | 'c' -> { use_shared = true; interleave = true; align = false; reuse = No_reuse }
+  | 'd' -> { use_shared = true; interleave = true; align = true; reuse = No_reuse }
+  | 'e' -> { use_shared = true; interleave = true; align = true; reuse = Static }
+  | 'f' -> { use_shared = true; interleave = true; align = true; reuse = Dynamic }
+  | c -> invalid_arg (Fmt.str "Hybrid_exec.strategy_of_step: %c not in a..f" c)
+
+let best_strategy = strategy_of_step 'f'
+
+type config = {
+  h : int;
+  w : int array;
+  threads : int;
+  strategy : strategy;
+  register_tile : bool;
+      (** unroll the point loop and keep sweep-reusable values in
+          registers, eliminating their shared-memory loads (the paper's
+          "register tiling" future-work item, cf. the Figure 2 core) *)
+}
+
+let default_config (prog : Stencil.t) =
+  let dims = Stencil.spatial_dims prog in
+  let k = List.length prog.stmts in
+  (* smallest h with h+1 a multiple of k, near the paper's picks *)
+  let round_h h0 = (((h0 + 1 + k - 1) / k) * k) - 1 in
+  match dims with
+  | 1 ->
+      {
+        h = round_h 3;
+        w = [| 16 |];
+        threads = 64;
+        strategy = best_strategy;
+        register_tile = false;
+      }
+  | 2 ->
+      {
+        h = round_h 3;
+        w = [| 4; 32 |];
+        threads = 256;
+        strategy = best_strategy;
+        register_tile = false;
+      }
+  | _ ->
+      (* 2h+2 = 4 time steps per tile, as the paper reports for 3D; the
+         Table 4 sizes (h=2, w=(7,10,32)) exceed a literal rectangular-box
+         shared allocation and can be requested explicitly. *)
+      {
+        h = round_h 1;
+        w = Array.concat [ [| 4; 6 |]; Array.make (dims - 2) 32 ];
+        threads = 192;
+        strategy = best_strategy;
+        register_tile = false;
+      }
+
+(* x-alignment translation offsets (Section 4.2.3): make the generic
+   tile's first x-load line-aligned, assuming the innermost extent is a
+   multiple of the warp size. *)
+let align_offsets (t : Hybrid.t) ~reuse =
+  if t.dims < 2 then fun _ -> 0
+  else begin
+    let c = t.classical.(t.dims - 2) in
+    let fl = Rat.floor (Rat.mul_int c.delta1 ((2 * t.h) + 1)) in
+    fun (rx : int) ->
+      (* Residue of the first x-load of a generic interior tile: without
+         reuse the whole box row starts at [S·w - ⌊δ1(2h+1)⌋ - rx]; with
+         reuse only the fresh strip is loaded, starting at
+         [prev box hi + 1 ≡ rx (mod 32)]. *)
+      let base = match reuse with No_reuse -> -fl - rx | Static | Dynamic -> rx in
+      Intutil.fmod (-base) 32
+  end
+
+let run ?(name = "hybrid") ?config prog env dev =
+  let ctx = Common.make_ctx prog env dev in
+  let config = match config with Some c -> c | None -> default_config prog in
+  let strat = config.strategy in
+  let t = Hybrid.make prog ~h:config.h ~w:config.w in
+  let dims = t.dims in
+  let h = config.h in
+  let height = (2 * h) + 2 in
+  let ubound = Hybrid.domain_u_bound t ctx.env in
+  (* global domain bounds across statements *)
+  let glo = Array.init dims (fun d -> Array.fold_left (fun m l -> min m l.(d)) max_int ctx.lo) in
+  let ghi = Array.init dims (fun d -> Array.fold_left (fun m x -> max m x.(d)) min_int ctx.hi) in
+  (* alignment: translate arrays so tile x-loads start on line boundaries *)
+  if strat.align then begin
+    let off_of = align_offsets t ~reuse:strat.reuse in
+    List.iter
+      (fun (decl : Stencil.array_decl) ->
+        let rx =
+          List.fold_left
+            (fun m (s : Stencil.stmt) ->
+              List.fold_left
+                (fun m (a : Stencil.access) ->
+                  if String.equal a.array decl.aname then
+                    max m (abs a.offsets.(Array.length a.offsets - 1))
+                  else m)
+                m
+                (s.write :: Stencil.reads s))
+            0 prog.stmts
+        in
+        Addrmap.register ctx.sim.addr (Grid.find ctx.grids decl.aname)
+          ~offset_floats:(off_of rx))
+      prog.arrays
+  end;
+  let stmts = ctx.stmts in
+  (* register tiling: reads whose cell was read (or produced) by the
+     previous unrolled iteration along the sweep direction stay in
+     registers; only the leading cells load from shared memory. *)
+  let loads_subset_of =
+    if not config.register_tile then fun _ -> None
+    else begin
+      let sweep = if dims >= 2 then dims - 1 else 0 in
+      let memo = Hashtbl.create 4 in
+      fun (s : Stencil.stmt) ->
+        match Hashtbl.find_opt memo s.sname with
+        | Some l -> Some l
+        | None ->
+            let reads = Stencil.distinct_reads s in
+            let shift (a : Stencil.access) =
+              {
+                a with
+                offsets =
+                  Array.mapi (fun i o -> if i = sweep then o + 1 else o) a.offsets;
+              }
+            in
+            let avail a =
+              let a' = shift a in
+              List.exists (fun r -> r = a') reads || a' = s.write
+            in
+            let l = List.filter (fun r -> not (avail r)) reads in
+            Hashtbl.replace memo s.sname l;
+            Some l
+    end
+  in
+  (* Iterate the instance rows of one tile in execution order: for each
+     valid t' step, every (prefix point, x-range) with x the innermost
+     dimension. [fa] runs once per t' step (barrier point). *)
+  let iter_tile ~u0 ~s00 ~(cls : int array) ~on_step ~on_row =
+    for a = 0 to height - 1 do
+      let u = u0 + a in
+      if u >= 0 && u < ubound then begin
+        match Hexagon.row_range t.hex ~a with
+        | None -> ()
+        | Some (rb_lo, rb_hi) ->
+            let si = Hybrid.stmt_of_u t u in
+            let tstep = Hybrid.tstep_of_u t u in
+            let stmt = stmts.(si) in
+            let slo = ctx.lo.(si) and shi = ctx.hi.(si) in
+            let s0lo = max (s00 + rb_lo) slo.(0) and s0hi = min (s00 + rb_hi) shi.(0) in
+            if s0lo <= s0hi then begin
+              (* classical windows, clipped to the statement domain *)
+              let wins =
+                Array.init (dims - 1) (fun i ->
+                    let c = t.classical.(i) in
+                    let lo = Classical.si_of c ~u:a ~tile:cls.(i) ~intra:0 in
+                    let hi = Classical.si_of c ~u:a ~tile:cls.(i) ~intra:(t.w.(i + 1) - 1) in
+                    (max lo slo.(i + 1), min hi shi.(i + 1)))
+              in
+              if Array.for_all (fun (l, h2) -> l <= h2) wins then begin
+                on_step ();
+                if dims = 1 then begin
+                  let point = [| s0lo |] in
+                  let xs = Array.init (s0hi - s0lo + 1) (fun i -> s0lo + i) in
+                  on_row ~stmt ~tstep ~point ~xs
+                end
+                else begin
+                  (* prefix dims: s0 and windows 1..dims-2; x = last dim *)
+                  let xlo, xhi = wins.(dims - 2) in
+                  let xs = Array.init (xhi - xlo + 1) (fun i -> xlo + i) in
+                  let point = Array.make dims 0 in
+                  let rec go d =
+                    if d = dims - 1 then on_row ~stmt ~tstep ~point ~xs
+                    else if d = 0 then
+                      for s0 = s0lo to s0hi do
+                        point.(0) <- s0;
+                        go 1
+                      done
+                    else
+                      let l, h2 = wins.(d - 1) in
+                      for v = l to h2 do
+                        point.(d) <- v;
+                        go (d + 1)
+                      done
+                  in
+                  go 0
+                end
+              end
+            end
+      end
+    done
+  in
+  (* process one (T, phase, S0, S1..Sn) tile; returns its layout *)
+  let shared_warned = ref false in
+  let process_tile ~u0 ~s00 ~(cls : int array) ~(prev : Common.Layout.t option) =
+    let lay = Common.Layout.create () in
+    if strat.use_shared then begin
+      (* pre-pass: accessed boxes per (array, slot) *)
+      let boxes : (string * int, Common.box) Hashtbl.t = Hashtbl.create 8 in
+      let grow_access (acc : Stencil.access) ~tstep ~point ~xs =
+        let g = Grid.find ctx.grids acc.array in
+        let slot = Grid.slot g (tstep + acc.time_off) in
+        let box =
+          match Hashtbl.find_opt boxes (acc.array, slot) with
+          | Some b -> b
+          | None ->
+              let b = Common.empty_box ~dims in
+              Hashtbl.replace boxes (acc.array, slot) b;
+              b
+        in
+        let p = Array.mapi (fun d o -> point.(d) + o) acc.offsets in
+        p.(dims - 1) <- xs.(0) + acc.offsets.(dims - 1);
+        Common.grow box p;
+        p.(dims - 1) <- xs.(Array.length xs - 1) + acc.offsets.(dims - 1);
+        Common.grow box p
+      in
+      iter_tile ~u0 ~s00 ~cls
+        ~on_step:(fun () -> ())
+        ~on_row:(fun ~stmt ~tstep ~point ~xs ->
+          List.iter (fun a -> grow_access a ~tstep ~point ~xs) (Stencil.distinct_reads stmt);
+          grow_access stmt.Stencil.write ~tstep ~point ~xs);
+      Hashtbl.iter (fun (arr, slot) box -> Common.Layout.add lay ~array:arr ~slot box) boxes;
+      if 4 * Common.Layout.words lay > dev.Device.shared_mem_bytes && not !shared_warned
+      then begin
+        (* The box over-approximation exceeds the device limit; the
+           paper's code generator avoids this with live-window modular
+           mappings (Section 4.2.2), which the traffic model below does
+           not need to materialize. Warn once and continue. *)
+        shared_warned := true;
+        Fmt.epr
+          "[hextile] warning: %s tile box needs %d B shared memory (device limit %d)@."
+          name
+          (4 * Common.Layout.words lay)
+          dev.Device.shared_mem_bytes
+      end;
+      (* copy-in, with inter-tile reuse *)
+      Common.Layout.iter lay ~f:(fun ~array ~slot box ->
+          let pbox =
+            match (strat.reuse, prev) with
+            | No_reuse, _ | _, None -> None
+            | _, Some p -> Common.Layout.find p ~array ~slot
+          in
+          let skip_x row =
+            match pbox with
+            | None -> None
+            | Some pb ->
+                let inside = ref true in
+                for d = 0 to dims - 2 do
+                  if row.(d) < pb.blo.(d) || row.(d) > pb.bhi.(d) then inside := false
+                done;
+                if !inside then Some (pb.blo.(dims - 1), pb.bhi.(dims - 1)) else None
+          in
+          Common.load_box_rows ctx ~grid:(Grid.find ctx.grids array) ~slot ~box ~skip_x
+            ~shared_addr:(fun p -> Common.Layout.addr lay ~array ~slot p);
+          (* dynamic reuse: move the overlap within shared memory *)
+          match (strat.reuse, pbox) with
+          | Dynamic, Some pb ->
+              let overlap = Common.box_inter box pb in
+              if not (Common.box_is_empty overlap) then
+                Common.shared_copy_rows ctx ~box:overlap ~shared_addr:(fun p ->
+                    Common.Layout.addr lay ~array ~slot p)
+          | _ -> ());
+      Sim.sync ctx.sim
+    end;
+    (* compute *)
+    let replay = match strat.reuse with Static -> 2 | _ -> 1 in
+    let pending_sync = ref false in
+    let copyout : (string, int list ref) Hashtbl.t = Hashtbl.create 4 in
+    iter_tile ~u0 ~s00 ~cls
+      ~on_step:(fun () ->
+        if !pending_sync then Sim.sync ctx.sim;
+        pending_sync := true)
+      ~on_row:(fun ~stmt ~tstep ~point ~xs ->
+        Common.exec_stmt_row ctx ~stmt ~tstep ~point ~xs
+          ?loads_subset:(loads_subset_of stmt)
+          ~global_reads:(not strat.use_shared) ~shared_replay:replay
+          ~interleave_store:strat.interleave ~use_shared:strat.use_shared
+          ~shared_addr:(fun (a : Stencil.access) ~point ->
+            let g = Grid.find ctx.grids a.array in
+            let slot = Grid.slot g (tstep + a.time_off) in
+            let p = Array.mapi (fun d o -> point.(d) + o) a.offsets in
+            Common.Layout.addr lay ~array:a.array ~slot p)
+          ();
+        (* remember written cells for the copy-out phase *)
+        if strat.use_shared && not strat.interleave then begin
+          let wa = stmt.Stencil.write in
+          let g = Grid.find ctx.grids wa.array in
+          let slot = Grid.slot g (tstep + wa.time_off) in
+          let cells =
+            match Hashtbl.find_opt copyout wa.array with
+            | Some l -> l
+            | None ->
+                let l = ref [] in
+                Hashtbl.replace copyout wa.array l;
+                l
+          in
+          let p = Array.mapi (fun d o -> point.(d) + o) wa.offsets in
+          Array.iter
+            (fun x ->
+              p.(dims - 1) <- x + wa.offsets.(dims - 1);
+              let full =
+                match g.decl.fold with
+                | Some _ -> Array.append [| slot |] p
+                | None -> Array.copy p
+              in
+              cells := Grid.offset g full :: !cells)
+            xs
+        end);
+    if !pending_sync then Sim.sync ctx.sim;
+    (* copy-out *)
+    if strat.use_shared && not strat.interleave then
+      Hashtbl.iter
+        (fun arr cells ->
+          Common.store_cells ctx ~grid:(Grid.find ctx.grids arr)
+            ~cells:(List.rev !cells) ~via_shared:true)
+        copyout;
+    lay
+  in
+  (* host loop: time tiles x phases *)
+  let launch_phase ~tt ~phase =
+    (* does any u of this phase's tiles fall in the domain? *)
+    let u0, _ = Hex_schedule.tile_origin t.hs ~phase ~tt ~s_tile:0 in
+    if u0 + height - 1 >= 0 && u0 < ubound then begin
+      let s_of s0 = Hex_schedule.space_tile t.hs ~phase ~u:(max 0 u0) ~s0 in
+      (* S0 is monotone in s0: *)
+      let s0_lo = s_of glo.(0) and s0_hi = s_of ghi.(0) in
+      let blocks = s0_hi - s0_lo + 1 in
+      if blocks > 0 then
+        Sim.launch ctx.sim
+          ~name:(Fmt.str "%s_T%d_p%d" name tt phase)
+          ~blocks ~threads:config.threads ~shared_bytes:0
+          ~f:(fun b ->
+            let s_tile = s0_lo + b in
+            let u0, s00 = Hex_schedule.tile_origin t.hs ~phase ~tt ~s_tile in
+            (* classical tile ranges *)
+            let ranges =
+              Array.init (dims - 1) (fun i ->
+                  Classical.tile_range t.classical.(i) ~u_max:(height - 1)
+                    ~lo:glo.(i + 1) ~hi:ghi.(i + 1))
+            in
+            let cls = Array.map fst ranges in
+            let prev = ref None in
+            let rec loop d =
+              if d = dims - 1 then begin
+                let lay = process_tile ~u0 ~s00 ~cls ~prev:!prev in
+                prev := Some lay
+              end
+              else begin
+                let lo, hi = ranges.(d) in
+                for v = lo to hi do
+                  cls.(d) <- v;
+                  if d = dims - 2 && v = lo then prev := None;
+                  loop (d + 1)
+                done
+              end
+            in
+            if dims = 1 then ignore (process_tile ~u0 ~s00 ~cls ~prev:None)
+            else loop 0)
+    end
+  in
+  (* T bounds covering every u in [0, ubound) for both phases *)
+  let t_lo =
+    min
+      (Hex_schedule.time_tile t.hs ~phase:0 ~u:0)
+      (Hex_schedule.time_tile t.hs ~phase:1 ~u:0)
+  in
+  let t_hi =
+    max
+      (Hex_schedule.time_tile t.hs ~phase:0 ~u:(ubound - 1))
+      (Hex_schedule.time_tile t.hs ~phase:1 ~u:(ubound - 1))
+  in
+  for tt = t_lo to t_hi do
+    launch_phase ~tt ~phase:0;
+    launch_phase ~tt ~phase:1
+  done;
+  Common.finish ctx ~scheme:name

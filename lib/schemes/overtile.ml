@@ -1,0 +1,241 @@
+open Hextile_ir
+open Hextile_gpusim
+open Hextile_util
+open Hextile_deps
+
+type config = { hh : int; tile : int array option }
+
+let default_config ~dims = { hh = (if dims >= 3 then 1 else 4); tile = None }
+
+let radii (prog : Stencil.t) =
+  let dims = Stencil.spatial_dims prog in
+  let r = Array.make dims 0 in
+  List.iter
+    (fun (s : Stencil.stmt) ->
+      List.iter
+        (fun (a : Stencil.access) ->
+          Array.iteri (fun d o -> r.(d) <- max r.(d) (abs o)) a.offsets)
+        (Stencil.reads s))
+    prog.stmts;
+  r
+
+(* Value-flow reach per schedule-time unit, from the dependence cone. *)
+let slopes (prog : Stencil.t) =
+  let deps = Dep.analyze prog in
+  Array.init (Stencil.spatial_dims prog) (fun d ->
+      let c = Cone.of_deps deps ~dim:d in
+      Rat.max c.delta0 c.delta1)
+
+let dilate (region : Common.box) ~by ~lo ~hi =
+  {
+    Common.blo = Array.mapi (fun d l -> max lo.(d) (l - by.(d))) region.blo;
+    bhi = Array.mapi (fun d h -> min hi.(d) (h + by.(d))) region.bhi;
+  }
+
+(* (array, slot) pairs that must be preloaded: read before written, at
+   slot granularity (exact for shrinking trapezoids). *)
+let needed_slots (ctx : Common.ctx) ~tt0 ~hh_eff =
+  let needed = Hashtbl.create 8 and written = Hashtbl.create 8 in
+  for j = 0 to hh_eff - 1 do
+    let t = tt0 + j in
+    Array.iter
+      (fun (s : Stencil.stmt) ->
+        List.iter
+          (fun (a : Stencil.access) ->
+            let g = Grid.find ctx.grids a.array in
+            let key = (a.array, Grid.slot g (t + a.time_off)) in
+            if not (Hashtbl.mem written key) then Hashtbl.replace needed key ())
+          (Stencil.reads s);
+        let g = Grid.find ctx.grids s.write.array in
+        Hashtbl.replace written (s.write.array, Grid.slot g (t + s.write.time_off)) ())
+      ctx.stmts
+  done;
+  needed
+
+let run ?config prog env dev =
+  let ctx = Common.make_ctx prog env dev in
+  let config =
+    match config with Some c -> c | None -> default_config ~dims:ctx.dims
+  in
+  let hh = max 1 config.hh in
+  let tile =
+    match config.tile with
+    | Some t -> t
+    | None ->
+        if ctx.dims >= 3 then begin
+          (* the autotuned space-tiling fallback favours taller tiles than
+             PPCG's default (lower halo-to-volume ratio) *)
+          let t = Array.make ctx.dims 8 in
+          t.(ctx.dims - 1) <- 32;
+          t
+        end
+        else Ppcg.default_tile ~dims:ctx.dims
+  in
+  let threads = min dev.Device.max_threads_per_block (Array.fold_left ( * ) 1 tile) in
+  let slope = slopes prog in
+  let rad = radii prog in
+  (* union domain across statements *)
+  let lo = Array.init ctx.dims (fun d -> Array.fold_left (fun m l -> min m l.(d)) max_int ctx.lo) in
+  let hi = Array.init ctx.dims (fun d -> Array.fold_left (fun m h -> max m h.(d)) min_int ctx.hi) in
+  let ntiles = Array.init ctx.dims (fun d -> max 0 ((hi.(d) - lo.(d) + tile.(d)) / tile.(d))) in
+  let blocks = Array.fold_left ( * ) 1 ntiles in
+  let reach units = Array.map (fun s -> Rat.ceil (Rat.mul_int s units)) slope in
+  let tt0 = ref 0 in
+  while !tt0 < ctx.steps do
+    let hh_eff = min hh (ctx.steps - !tt0) in
+    let tt0v = !tt0 in
+    let snap = Common.snapshot ctx in
+    let needed = needed_slots ctx ~tt0:tt0v ~hh_eff in
+    Sim.launch ctx.sim
+      ~name:(Fmt.str "overtile_tt%d" tt0v)
+      ~blocks ~threads ~shared_bytes:0
+      ~f:(fun b ->
+        let tc = Array.make ctx.dims 0 in
+        let rest = ref b in
+        for d = ctx.dims - 1 downto 0 do
+          tc.(d) <- !rest mod ntiles.(d);
+          rest := !rest / ntiles.(d)
+        done;
+        let out =
+          {
+            Common.blo = Array.init ctx.dims (fun d -> lo.(d) + (tc.(d) * tile.(d)));
+            bhi =
+              Array.init ctx.dims (fun d ->
+                  min hi.(d) (lo.(d) + ((tc.(d) + 1) * tile.(d)) - 1));
+          }
+        in
+        if not (Common.box_is_empty out) then begin
+          (* local values written by this block *)
+          let local : (string * int * int list, float) Hashtbl.t = Hashtbl.create 512 in
+          let cell (a : Stencil.access) ~t ~point =
+            let g = Grid.find ctx.grids a.array in
+            ( a.array,
+              Grid.slot g (t + a.time_off),
+              Array.to_list (Array.mapi (fun d o -> point.(d) + o) a.offsets) )
+          in
+          (* copy-in: one shared box per accessed (array, slot) *)
+          let copy_by = Array.mapi (fun d r -> r + rad.(d)) (reach (ctx.k * (hh_eff - 1))) in
+          let inbox (arr : string) =
+            let g = Grid.find ctx.grids arr in
+            let spatial_dims = ctx.dims in
+            let ext d = g.dims.(Array.length g.dims - spatial_dims + d) in
+            dilate out ~by:copy_by ~lo:(Array.make ctx.dims 0)
+              ~hi:(Array.init ctx.dims (fun d -> ext d - 1))
+          in
+          let lay = Common.Layout.create () in
+          let alloc_box (arr, slot) aname =
+            if Common.Layout.find lay ~array:arr ~slot = None then
+              Common.Layout.add lay ~array:arr ~slot (inbox aname)
+          in
+          (* allocate shared boxes for every (array, slot) touched *)
+          List.iter
+            (fun (s : Stencil.stmt) ->
+              List.iter
+                (fun (a : Stencil.access) ->
+                  let g = Grid.find ctx.grids a.array in
+                  for j = 0 to hh_eff - 1 do
+                    alloc_box (a.array, Grid.slot g (tt0v + j + a.time_off)) a.array
+                  done)
+                (s.write :: Stencil.reads s))
+            ctx.prog.stmts;
+          Hashtbl.iter
+            (fun (arr, slot) () ->
+              match Common.Layout.find lay ~array:arr ~slot with
+              | None -> ()
+              | Some box ->
+                  Common.load_box_rows ctx ~grid:(Grid.find ctx.grids arr) ~slot ~box
+                    ~skip_x:(fun _ -> None)
+                    ~shared_addr:(fun p -> Common.Layout.addr lay ~array:arr ~slot p))
+            needed;
+          Sim.sync ctx.sim;
+          (* redundant compute over the shrinking trapezoid *)
+          for j = 0 to hh_eff - 1 do
+            let t = tt0v + j in
+            Array.iteri
+              (fun si stmt ->
+                let units = (ctx.k * (hh_eff - 1 - j)) + (ctx.k - 1 - si) in
+                let region =
+                  dilate out ~by:(reach units) ~lo:ctx.lo.(si) ~hi:ctx.hi.(si)
+                in
+                (* also clip the out-region to the statement domain *)
+                let region =
+                  Common.box_inter region
+                    { Common.blo = ctx.lo.(si); bhi = ctx.hi.(si) }
+                in
+                if not (Common.box_is_empty region) then
+                  Common.iter_box_rows region ~f:(fun point ->
+                      let xdim = ctx.dims - 1 in
+                      let xs =
+                        Array.of_list (Intutil.range region.blo.(xdim) region.bhi.(xdim))
+                      in
+                      Common.exec_stmt_row ctx ~stmt ~tstep:t ~point ~xs
+                        ~read_value:(fun a ~point ->
+                          let key = cell a ~t ~point in
+                          match Hashtbl.find_opt local key with
+                          | Some v -> v
+                          | None ->
+                              let g = Grid.find ctx.grids a.array in
+                              let (_, slot, sp) = key in
+                              let idx =
+                                match g.decl.fold with
+                                | Some _ -> Array.of_list (slot :: sp)
+                                | None -> Array.of_list sp
+                              in
+                              Common.snapshot_read snap g (Grid.offset g idx))
+                        ~write_value:(fun ~point v ->
+                          Hashtbl.replace local (cell stmt.Stencil.write ~t ~point) v)
+                        ~count:false ~global_reads:false ~shared_replay:1
+                        ~interleave_store:false ~use_shared:true
+                        ~shared_addr:(fun (a : Stencil.access) ~point ->
+                          let g = Grid.find ctx.grids a.array in
+                          let slot = Grid.slot g (t + a.time_off) in
+                          let p = Array.mapi (fun d o -> point.(d) + o) a.offsets in
+                          Common.Layout.addr lay ~array:a.array ~slot p)
+                        ())
+              )
+              ctx.stmts;
+            Sim.sync ctx.sim
+          done;
+          (* copy-out: final values of cells inside the output tile *)
+          let per_array : (string, (int * float) list ref) Hashtbl.t = Hashtbl.create 4 in
+          Hashtbl.iter
+            (fun (arr, slot, sp) v ->
+              let inside =
+                List.for_all2
+                  (fun x (l, h) -> x >= l && x <= h)
+                  sp
+                  (Array.to_list (Array.map2 (fun l h -> (l, h)) out.blo out.bhi))
+              in
+              if inside then begin
+                let g = Grid.find ctx.grids arr in
+                let idx =
+                  match g.decl.fold with
+                  | Some _ -> Array.of_list (slot :: sp)
+                  | None -> Array.of_list sp
+                in
+                let flat = Grid.offset g idx in
+                let l =
+                  match Hashtbl.find_opt per_array arr with
+                  | Some l -> l
+                  | None ->
+                      let l = ref [] in
+                      Hashtbl.replace per_array arr l;
+                      l
+                in
+                l := (flat, v) :: !l
+              end)
+            local;
+          Hashtbl.iter
+            (fun arr l ->
+              let g = Grid.find ctx.grids arr in
+              let sorted = List.sort compare !l in
+              List.iter (fun (flat, v) -> g.data.(flat) <- v) sorted;
+              Common.store_cells ctx ~grid:g ~cells:(List.map fst sorted) ~via_shared:true)
+            per_array
+        end);
+    tt0 := tt0v + hh_eff
+  done;
+  (* Useful updates = the reference instance count (redundant halo
+     recomputation does not produce additional stencils). *)
+  ctx.updates <- Interp.stencil_updates prog env;
+  Common.finish ctx ~scheme:"overtile"

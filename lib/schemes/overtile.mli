@@ -1,0 +1,28 @@
+(** Overtile-style overlapped (trapezoidal) time tiling.
+
+    Each thread block owns an output tile and a time-tile of [hh] steps;
+    it loads the tile plus a halo of radius [r·hh] into shared memory,
+    redundantly recomputes the shrinking halo region at every step, and
+    writes only its own output tile back — trading redundant computation
+    and a larger footprint for DRAM traffic reduced by roughly [hh]×
+    (Holewinski et al., ICS'12; the paper's Overtile comparator).
+
+    Blocks functionally read a pre-launch snapshot, matching the
+    concurrent-blocks semantics of a real GPU. *)
+
+open Hextile_ir
+open Hextile_gpusim
+
+type config = {
+  hh : int;  (** time steps per tile (1 = plain space tiling) *)
+  tile : int array option;  (** output tile; None = PPCG-style defaults *)
+}
+
+val default_config : dims:int -> config
+(** The autotuner's observed behaviour per the paper: time tiling for 1D/2D
+    ([hh = 4]), fallback to space tiling for 3D ([hh = 1]). *)
+
+val radii : Stencil.t -> int array
+(** Per-dimension halo radius: max |read offset|. *)
+
+val run : ?config:config -> Stencil.t -> (string -> int) -> Device.t -> Common.result

@@ -1,0 +1,13 @@
+(** Par4All-style baseline: one kernel launch per time step and statement,
+    one thread per grid point, all accesses to global memory (the hardware
+    caches are the only reuse mechanism). Mirrors the paper's Par4All
+    comparator, which does not use shared memory or time tiling. *)
+
+open Hextile_ir
+open Hextile_gpusim
+
+type config = { threads_per_block : int }
+
+val default_config : config
+
+val run : ?config:config -> Stencil.t -> (string -> int) -> Device.t -> Common.result

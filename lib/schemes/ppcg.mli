@@ -1,0 +1,20 @@
+(** PPCG-style baseline: classical space tiling with explicitly managed
+    shared memory, no time tiling. One kernel launch per time step and
+    statement; each thread block copies its tile plus halo into shared
+    memory (rectangular over-approximation), computes one time step and
+    writes results to global memory. *)
+
+open Hextile_ir
+open Hextile_gpusim
+
+type config = {
+  tile : int array option;
+      (** space tile per dimension; [None] = built-in defaults (innermost
+          32, 16/8/4 outer by dimensionality) *)
+}
+
+val default_config : config
+
+val default_tile : dims:int -> int array
+
+val run : ?config:config -> ?name:string -> Stencil.t -> (string -> int) -> Device.t -> Common.result

@@ -1,0 +1,168 @@
+open Hextile_ir
+open Hextile_gpusim
+open Hextile_util
+open Hextile_deps
+
+type config = { hh : int; width : int }
+
+let default_config = { hh = 4; width = 64 }
+
+let run ?(config = default_config) prog env dev =
+  let ctx = Common.make_ctx prog env dev in
+  if ctx.dims <> 1 then
+    invalid_arg "Split_tiling.run: only 1D stencils (the paper's degenerate case)";
+  if ctx.k <> 1 then
+    invalid_arg "Split_tiling.run: single-statement programs only";
+  let hh = max 1 config.hh and width = config.width in
+  let deps = Dep.analyze prog in
+  let cone = Cone.of_deps deps ~dim:0 in
+  (* symmetric per-u-unit slope, scaled to per-time-step reach *)
+  let r =
+    max 1 (Rat.ceil (Rat.mul_int (Rat.max cone.delta0 cone.delta1) ctx.k))
+  in
+  if width <= 2 * r * hh then
+    invalid_arg
+      (Fmt.str "Split_tiling.run: width %d too small for reach %d over %d steps"
+         width r hh);
+  let lo = ctx.lo.(0).(0) and hi = ctx.hi.(0).(0) in
+  let span = hi - lo + 1 in
+  let nbase = (span + width - 1) / width in
+  let stmts = ctx.stmts in
+  let exec_interval ~tstep ~xlo ~xhi ~read_value ~write_value ~shared_addr =
+    if xlo <= xhi then
+      Array.iter
+        (fun (s : Stencil.stmt) ->
+          let xlo = max xlo ctx.lo.(0).(0) and xhi = min xhi ctx.hi.(0).(0) in
+          if xlo <= xhi then
+            Common.exec_stmt_row ctx ~stmt:s ~tstep ~point:[| xlo |]
+              ~xs:(Array.init (xhi - xlo + 1) (fun i -> xlo + i))
+              ?read_value ?write_value ~global_reads:false ~shared_replay:1
+              ~interleave_store:true ~use_shared:true ~shared_addr ())
+        stmts
+  in
+  let tt0 = ref 0 in
+  while !tt0 < ctx.steps do
+    let hh_eff = min hh (ctx.steps - !tt0) in
+    let t0 = !tt0 in
+    (* ---- phase A: upright trapezoids --------------------------------- *)
+    let snap = Common.snapshot ctx in
+    Sim.launch ctx.sim
+      ~name:(Fmt.str "split_up_tt%d" t0)
+      ~blocks:nbase ~threads:(min width 256) ~shared_bytes:0
+      ~f:(fun b ->
+        let base_lo = lo + (b * width) in
+        let base_hi = min hi (base_lo + width - 1) in
+        (* copy-in the base plus read halo, from the pre-launch snapshot *)
+        let inlo = max lo (base_lo - r) and inhi = min hi (base_hi + r) in
+        let lay = Common.Layout.create () in
+        let box = { Common.blo = [| inlo |]; bhi = [| inhi |] } in
+        List.iter
+          (fun (d : Stencil.array_decl) ->
+            let m = match d.fold with Some m -> m | None -> 1 in
+            for slot = 0 to m - 1 do
+              Common.Layout.add lay ~array:d.aname ~slot box
+            done)
+          prog.arrays;
+        Common.Layout.iter lay ~f:(fun ~array ~slot box ->
+            Common.load_box_rows ctx ~grid:(Grid.find ctx.grids array) ~slot ~box
+              ~skip_x:(fun _ -> None)
+              ~shared_addr:(fun p -> Common.Layout.addr lay ~array ~slot p));
+        Sim.sync ctx.sim;
+        (* local writes so concurrent blocks read pre-launch halo values *)
+        let local : (string * int * int, float) Hashtbl.t = Hashtbl.create 64 in
+        let cell (a : Stencil.access) ~t ~point =
+          let g = Grid.find ctx.grids a.array in
+          (a.array, Grid.slot g (t + a.time_off), point.(0) + a.offsets.(0))
+        in
+        let shared_addr (a : Stencil.access) ~point =
+          let g = Grid.find ctx.grids a.array in
+          let slot = Grid.slot g (t0 + a.time_off) in
+          Common.Layout.addr lay ~array:a.array ~slot [| point.(0) + a.offsets.(0) |]
+        in
+        for j = 0 to hh_eff - 1 do
+          let t = t0 + j in
+          exec_interval ~tstep:t ~xlo:(base_lo + (r * j)) ~xhi:(base_hi - (r * j))
+            ~read_value:
+              (Some
+                 (fun a ~point ->
+                   match Hashtbl.find_opt local (cell a ~t ~point) with
+                   | Some v -> v
+                   | None ->
+                       let g = Grid.find ctx.grids a.array in
+                       let _, slot, x = cell a ~t ~point in
+                       let idx =
+                         match g.decl.fold with
+                         | Some _ -> [| slot; x |]
+                         | None -> [| x |]
+                       in
+                       Common.snapshot_read snap g (Grid.offset g idx)))
+            ~write_value:
+              (Some
+                 (fun ~point v ->
+                   (* write-through: local (for later steps of this block)
+                      and global (interleaved copy-out) *)
+                   Hashtbl.replace local (cell stmts.(0).write ~t ~point) v;
+                   Grid.write_access ctx.grids stmts.(0).write ~t ~point v))
+            ~shared_addr;
+          Sim.sync ctx.sim
+        done)
+      ;
+    (* ---- phase B: inverted trapezoids -------------------------------- *)
+    (* Upright tile k at step j covers [ulo k j, uhi k j]; the inverted
+       block at boundary b owns the gap containing its boundary, unless a
+       smaller boundary lies in the same (merged) gap — clipped tiles at
+       the domain edge can vanish at later steps, merging gaps. *)
+    let ulo k j = lo + (k * width) + (r * j) in
+    let uhi k j = min hi (lo + ((k + 1) * width) - 1) - (r * j) in
+    let bnd_of b = min (lo + (b * width)) (hi + 1) in
+    let gap_of b j =
+      let bnd = bnd_of b in
+      (* nearest nonempty upright strictly left / right of the boundary *)
+      let rec left k = if k < 0 then lo - 1 else if ulo k j <= uhi k j && uhi k j < bnd then uhi k j else left (k - 1) in
+      let rec right k = if k >= nbase then hi + 1 else if ulo k j <= uhi k j && ulo k j >= bnd then ulo k j else right (k + 1) in
+      let gl = left (b - 1) + 1 and gh = right b - 1 in
+      (* ownership: the smallest boundary inside (gl-1, gh] *)
+      let rec owner b' = if bnd_of b' >= gl then owner (b' - 1) else b' + 1 in
+      if b = owner b then Some (max lo gl, min hi gh) else None
+    in
+    Sim.launch ctx.sim
+      ~name:(Fmt.str "split_down_tt%d" t0)
+      ~blocks:(nbase + 1) ~threads:(min (2 * r * hh) 256) ~shared_bytes:0
+      ~f:(fun b ->
+        let bnd = bnd_of b in
+        let lay = Common.Layout.create () in
+        let inlo = max lo (bnd - (r * hh_eff) - r)
+        and inhi = min hi (bnd + (r * hh_eff) + r - 1) in
+        if inlo <= inhi then begin
+          let box = { Common.blo = [| inlo |]; bhi = [| inhi |] } in
+          List.iter
+            (fun (d : Stencil.array_decl) ->
+              let m = match d.fold with Some m -> m | None -> 1 in
+              for slot = 0 to m - 1 do
+                Common.Layout.add lay ~array:d.aname ~slot box
+              done)
+            prog.arrays;
+          Common.Layout.iter lay ~f:(fun ~array ~slot box ->
+              Common.load_box_rows ctx ~grid:(Grid.find ctx.grids array) ~slot ~box
+                ~skip_x:(fun _ -> None)
+                ~shared_addr:(fun p -> Common.Layout.addr lay ~array ~slot p));
+          Sim.sync ctx.sim;
+          let shared_addr (a : Stencil.access) ~point =
+            let g = Grid.find ctx.grids a.array in
+            let slot = Grid.slot g (t0 + a.time_off) in
+            Common.Layout.addr lay ~array:a.array ~slot
+              [| point.(0) + a.offsets.(0) |]
+          in
+          for j = 1 to hh_eff - 1 do
+            let t = t0 + j in
+            (match gap_of b j with
+            | Some (xlo, xhi) ->
+                exec_interval ~tstep:t ~xlo ~xhi ~read_value:None
+                  ~write_value:None ~shared_addr
+            | None -> ());
+            Sim.sync ctx.sim
+          done
+        end);
+    tt0 := t0 + hh_eff
+  done;
+  Common.finish ctx ~scheme:"split"

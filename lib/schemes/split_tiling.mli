@@ -1,0 +1,21 @@
+(** Split tiling for 1D stencils (Grosser et al., GPGPU-6 2013).
+
+    The paper notes that in one dimension the hybrid method "boils down to
+    existing hexagonal or split tiling"; this executor provides the split
+    variant for comparison: a time tile of [hh] steps is covered by a
+    phase of upright (shrinking) trapezoids over base intervals of
+    [width] cells, followed by a phase of inverted (growing) trapezoids
+    filling the gaps between them. No redundant computation; two kernels
+    per time tile, like the hexagonal scheme's two phases. *)
+
+open Hextile_ir
+open Hextile_gpusim
+
+type config = { hh : int; width : int }
+
+val default_config : config
+
+val run :
+  ?config:config -> Stencil.t -> (string -> int) -> Device.t -> Common.result
+(** Raises [Invalid_argument] for non-1D programs or if [width] is too
+    small for the dependence slopes ([width > 2·r·hh]). *)

@@ -1,0 +1,228 @@
+open Hextile_ir
+open Stencil
+
+let n_ = Affp.param "N"
+let nm k = Affp.add_const n_ k
+
+let acc ?(dt = 0) array offsets =
+  { array; time_off = dt; offsets = Array.of_list offsets }
+
+let rd ?dt array offsets = Read (acc ?dt array offsets)
+let fc f = Fconst f
+let ( +! ) a b = Bin (Add, a, b)
+let ( -! ) a b = Bin (Sub, a, b)
+let ( *! ) a b = Bin (Mul, a, b)
+
+let sum = function
+  | [] -> invalid_arg "sum: empty"
+  | x :: rest -> List.fold_left ( +! ) x rest
+
+(* A single double-buffered statement over an n-D box [1, N-2]^n. *)
+let buffered name ~dims rhs =
+  let zeros = List.init dims (fun _ -> 0) in
+  {
+    name;
+    params = [ "N"; "T" ];
+    steps = Affp.param "T";
+    arrays =
+      [ { aname = "A"; extents = Array.make dims n_; fold = Some 2 } ];
+    stmts =
+      [
+        {
+          sname = "S0";
+          lo = Array.make dims (Affp.const 1);
+          hi = Array.make dims (nm (-2));
+          write = acc ~dt:1 "A" zeros;
+          rhs;
+        };
+      ];
+  }
+
+let center2 = rd ~dt:0 "A" [ 0; 0 ]
+
+let jacobi2d =
+  buffered "jacobi2d" ~dims:2
+    (fc 0.2
+    *! sum
+         [
+           center2;
+           rd "A" [ 1; 0 ];
+           rd "A" [ -1; 0 ];
+           rd "A" [ 0; 1 ];
+           rd "A" [ 0; -1 ];
+         ])
+
+let laplacian2d =
+  buffered "laplacian2d" ~dims:2
+    ((fc 0.125
+     *! sum [ rd "A" [ -1; 0 ]; rd "A" [ 1; 0 ]; rd "A" [ 0; -1 ]; rd "A" [ 0; 1 ] ])
+    +! (fc 0.5 *! center2))
+
+let heat2d =
+  let pts =
+    List.concat_map (fun i -> List.map (fun j -> rd "A" [ i; j ]) [ -1; 0; 1 ]) [ -1; 0; 1 ]
+  in
+  buffered "heat2d" ~dims:2 (fc 0.111 *! sum pts)
+
+let gradient2d =
+  (* Per neighbour: 0.25*((nb-c)*(nb-c)) = sub, mul, mul after sharing of
+     (nb-c); 4 neighbours + 3 adds = 15 flops, 5 distinct loads — the
+     Table 3 row. Sharing is structural: Stencil.flops counts each
+     distinct subterm once. *)
+  let term off = fc 0.25 *! ((rd "A" off -! center2) *! (rd "A" off -! center2)) in
+  buffered "gradient2d" ~dims:2
+    (sum [ term [ -1; 0 ]; term [ 1; 0 ]; term [ 0; -1 ]; term [ 0; 1 ] ])
+
+let fdtd2d =
+  let io = { aname = "ey"; extents = [| n_; n_ |]; fold = None } in
+  {
+    name = "fdtd2d";
+    params = [ "N"; "T" ];
+    steps = Affp.param "T";
+    arrays =
+      [ io; { io with aname = "ex" }; { io with aname = "hz" } ];
+    stmts =
+      [
+        {
+          sname = "Sey";
+          lo = [| Affp.const 1; Affp.const 1 |];
+          hi = [| nm (-2); nm (-2) |];
+          write = acc "ey" [ 0; 0 ];
+          rhs =
+            rd "ey" [ 0; 0 ]
+            -! (fc 0.5 *! (rd "hz" [ 0; 0 ] -! rd "hz" [ -1; 0 ]));
+        };
+        {
+          sname = "Sex";
+          lo = [| Affp.const 1; Affp.const 1 |];
+          hi = [| nm (-2); nm (-2) |];
+          write = acc "ex" [ 0; 0 ];
+          rhs =
+            rd "ex" [ 0; 0 ]
+            -! (fc 0.5 *! (rd "hz" [ 0; 0 ] -! rd "hz" [ 0; -1 ]));
+        };
+        {
+          sname = "Shz";
+          lo = [| Affp.const 1; Affp.const 1 |];
+          hi = [| nm (-2); nm (-2) |];
+          write = acc "hz" [ 0; 0 ];
+          rhs =
+            rd "hz" [ 0; 0 ]
+            -! (fc 0.7
+               *! (rd "ex" [ 0; 1 ] -! rd "ex" [ 0; 0 ]
+                  +! rd "ey" [ 1; 0 ]
+                  -! rd "ey" [ 0; 0 ]));
+        };
+      ];
+  }
+
+let center3 = rd "A" [ 0; 0; 0 ]
+
+let laplacian3d =
+  buffered "laplacian3d" ~dims:3
+    ((fc 0.1
+     *! sum
+          [
+            rd "A" [ -1; 0; 0 ];
+            rd "A" [ 1; 0; 0 ];
+            rd "A" [ 0; -1; 0 ];
+            rd "A" [ 0; 1; 0 ];
+            rd "A" [ 0; 0; -1 ];
+            rd "A" [ 0; 0; 1 ];
+          ])
+    +! (fc 0.4 *! center3))
+
+let heat3d =
+  let pts =
+    List.concat_map
+      (fun i ->
+        List.concat_map
+          (fun j -> List.map (fun k -> rd "A" [ i; j; k ]) [ -1; 0; 1 ])
+          [ -1; 0; 1 ])
+      [ -1; 0; 1 ]
+  in
+  buffered "heat3d" ~dims:3 (fc 0.037 *! sum pts)
+
+let gradient3d =
+  let nb off = rd "A" off -! center3 in
+  let sq off = nb off *! nb off in
+  (* 6*(sub+mul) + 5 adds = 17, * 0.05 = 18, + c*c = 20 flops; distinct
+     cells = 7 loads. (The nb/sq sharing mirrors CSE; Analysis counts
+     distinct cells.) *)
+  buffered "gradient3d" ~dims:3
+    ((fc 0.05
+     *! sum
+          [
+            sq [ -1; 0; 0 ];
+            sq [ 1; 0; 0 ];
+            sq [ 0; -1; 0 ];
+            sq [ 0; 1; 0 ];
+            sq [ 0; 0; -1 ];
+            sq [ 0; 0; 1 ];
+          ])
+    +! (center3 *! center3))
+
+let heat1d =
+  buffered "heat1d" ~dims:1
+    (fc 0.33 *! sum [ rd "A" [ -1 ]; rd "A" [ 0 ]; rd "A" [ 1 ] ])
+
+let contrived =
+  {
+    name = "contrived";
+    params = [ "N"; "T" ];
+    steps = Affp.param "T";
+    arrays = [ { aname = "A"; extents = [| n_ |]; fold = Some 3 } ];
+    stmts =
+      [
+        {
+          sname = "S0";
+          lo = [| Affp.const 2 |];
+          hi = [| nm (-3) |];
+          write = acc ~dt:2 "A" [ 0 ];
+          rhs = fc 0.5 *! (rd ~dt:0 "A" [ -2 ] +! rd ~dt:1 "A" [ 2 ]);
+        };
+      ];
+  }
+
+let wave2d =
+  {
+    name = "wave2d";
+    params = [ "N"; "T" ];
+    steps = Affp.param "T";
+    arrays = [ { aname = "A"; extents = [| n_; n_ |]; fold = Some 3 } ];
+    stmts =
+      [
+        {
+          sname = "S0";
+          lo = [| Affp.const 1; Affp.const 1 |];
+          hi = [| nm (-2); nm (-2) |];
+          write = acc ~dt:2 "A" [ 0; 0 ];
+          rhs =
+            (fc 2.0 *! rd ~dt:1 "A" [ 0; 0 ])
+            -! rd ~dt:0 "A" [ 0; 0 ]
+            +! (fc 0.1
+               *! (rd ~dt:1 "A" [ 1; 0 ]
+                  +! rd ~dt:1 "A" [ -1; 0 ]
+                  +! rd ~dt:1 "A" [ 0; 1 ]
+                  +! rd ~dt:1 "A" [ 0; -1 ]
+                  -! (fc 4.0 *! rd ~dt:1 "A" [ 0; 0 ])));
+        };
+      ];
+  }
+
+let table3 =
+  [ laplacian2d; heat2d; gradient2d; fdtd2d; laplacian3d; heat3d; gradient3d ]
+
+let all = (jacobi2d :: table3) @ [ heat1d; contrived; wave2d ]
+
+let find name = List.find (fun (p : Stencil.t) -> String.equal p.name name) all
+
+let table3_params (p : Stencil.t) =
+  if Stencil.spatial_dims p >= 3 then [ ("N", 384); ("T", 128) ]
+  else [ ("N", 3072); ("T", 512) ]
+
+let test_params (p : Stencil.t) =
+  match Stencil.spatial_dims p with
+  | 1 -> [ ("N", 30); ("T", 10) ]
+  | 2 -> [ ("N", 20); ("T", 9) ]
+  | _ -> [ ("N", 10); ("T", 6) ]

@@ -1,0 +1,53 @@
+(** The benchmark stencils of the paper (Table 3), plus small programs
+    used by examples and tests.
+
+    All programs are parametric in the grid extent [N] and the time trip
+    count [T]; the Table 3 instantiations are [N = 3072, T = 512] for the
+    2D kernels and [N = 384, T = 128] for the 3D kernels. The per-statement
+    loads/FLOPs match the paper's Table 3 row by row. *)
+
+open Hextile_ir
+
+val jacobi2d : Stencil.t
+(** The Figure 1 kernel: 5-point Jacobi, 5 loads / 5 flops. *)
+
+val laplacian2d : Stencil.t  (** 5 loads, 6 flops *)
+
+val heat2d : Stencil.t  (** 9 loads, 9 flops *)
+
+val gradient2d : Stencil.t  (** 5 loads, 15 flops *)
+
+val fdtd2d : Stencil.t  (** 3 statements: 3/3, 3/3, 5/5 loads/flops *)
+
+val laplacian3d : Stencil.t  (** 7 loads, 8 flops *)
+
+val heat3d : Stencil.t  (** 27 loads, 27 flops *)
+
+val gradient3d : Stencil.t  (** 7 loads, 20 flops *)
+
+val heat1d : Stencil.t
+(** 3-point 1D heat — small test workload (the hybrid method degenerates
+    to plain hexagonal tiling here, as the paper notes). *)
+
+val contrived : Stencil.t
+(** The Section 3.3.2 example [A[t][i] = f(A[t-2][i-2], A[t-1][i+2])],
+    whose dependence distances are [{(1,-2); (2,2)}]. *)
+
+val wave2d : Stencil.t
+(** Second-order wave equation, triple-buffered:
+    [A⟨t+2⟩ = 2·A⟨t+1⟩ - A⟨t⟩ + c·∇²A⟨t+1⟩] — exercises dependences with
+    time distance 2 and fold 3. *)
+
+val table3 : Stencil.t list
+(** The seven Table 3 benchmarks in row order. *)
+
+val all : Stencil.t list
+
+val find : string -> Stencil.t
+(** Look up by [Stencil.name]; raises [Not_found]. *)
+
+val table3_params : Stencil.t -> (string * int) list
+(** The paper's data-size/steps instantiation for a Table 3 kernel. *)
+
+val test_params : Stencil.t -> (string * int) list
+(** A small instantiation suitable for functional verification. *)

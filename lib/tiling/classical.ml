@@ -1,0 +1,19 @@
+open Hextile_util
+
+type t = { delta1 : Rat.t; w : int }
+
+let make ~delta1 ~w =
+  if w < 1 then invalid_arg "Classical.make: width must be >= 1";
+  if Rat.sign delta1 < 0 then invalid_arg "Classical.make: delta1 must be >= 0";
+  { delta1; w }
+
+let skew t ~u ~si = si + Rat.floor (Rat.mul_int t.delta1 u)
+let tile t ~u ~si = Intutil.fdiv (skew t ~u ~si) t.w
+let intra t ~u ~si = Intutil.fmod (skew t ~u ~si) t.w
+
+let si_of t ~u ~tile ~intra = (tile * t.w) + intra - Rat.floor (Rat.mul_int t.delta1 u)
+
+let tile_range t ~u_max ~lo ~hi =
+  (* v is minimal at u=0 for the low end and maximal at u=u_max for the
+     high end (δ1 >= 0). *)
+  (Intutil.fdiv lo t.w, Intutil.fdiv (hi + Rat.floor (Rat.mul_int t.delta1 u_max)) t.w)

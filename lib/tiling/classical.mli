@@ -1,0 +1,29 @@
+(** Classical (parallelogram) tiling of the inner spatial dimensions
+    (Section 3.4).
+
+    Each inner dimension [si] is stripmined with width [wi] after skewing
+    by the lower cone slope: the skewed coordinate is
+    [v = si + ⌊δ1i · u⌋] where [u] is the normalized intra-tile time
+    (equations (15)/(16) — which equals the local hexagonal coordinate
+    [a]). Then [Si = ⌊v/wi⌋] (equation (14)) and the intra-tile coordinate
+    is [s'i = v mod wi] (equation (17)). Tiles along these dimensions
+    execute sequentially, which is what enables inter-tile reuse
+    (Section 4.2.2). *)
+
+type t = { delta1 : Hextile_util.Rat.t; w : int }
+
+val make : delta1:Hextile_util.Rat.t -> w:int -> t
+(** Raises [Invalid_argument] if [w < 1] or [delta1 < 0]. *)
+
+val skew : t -> u:int -> si:int -> int
+(** [v = si + ⌊δ1·u⌋]. *)
+
+val tile : t -> u:int -> si:int -> int
+val intra : t -> u:int -> si:int -> int
+
+val si_of : t -> u:int -> tile:int -> intra:int -> int
+(** Inverse: the [si] whose skewed coordinate decomposes as given. *)
+
+val tile_range : t -> u_max:int -> lo:int -> hi:int -> int * int
+(** Inclusive range of tile indices touched by [si ∈ [lo, hi]] over
+    normalized times [0..u_max]. *)

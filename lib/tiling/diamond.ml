@@ -1,0 +1,45 @@
+open Hextile_util
+
+type t = { tau : int }
+
+let make ~tau =
+  if tau < 1 then invalid_arg "Diamond.make: tau must be >= 1";
+  { tau }
+
+let tile_of d ~t' ~s = (Intutil.fdiv (t' + s) d.tau, Intutil.fdiv (t' - s) d.tau)
+
+let tile_points d ~a ~b =
+  (* u = t+s in [a*tau, (a+1)*tau), v = t-s in [b*tau, ...); integer (t,s)
+     exist iff u ≡ v (mod 2). *)
+  let pts = ref [] in
+  for u = a * d.tau to ((a + 1) * d.tau) - 1 do
+    for v = b * d.tau to ((b + 1) * d.tau) - 1 do
+      if (u - v) mod 2 = 0 then begin
+        let t' = (u + v) / 2 and s = (u - v) / 2 in
+        pts := (t', s) :: !pts
+      end
+    done
+  done;
+  List.rev !pts
+
+let count d ~a ~b = List.length (tile_points d ~a ~b)
+
+let count_spectrum d =
+  let counts = ref [] in
+  for a = 0 to 3 do
+    for b = -3 to 3 do
+      let c = count d ~a ~b in
+      if not (List.mem c !counts) then counts := c :: !counts
+    done
+  done;
+  List.sort compare !counts
+
+let wavefront_legal d ~deltas =
+  List.for_all
+    (fun (dt, ds) ->
+      ignore d;
+      (* tile coordinates move by ((dt+ds)/tau, (dt-ds)/tau) up to floors;
+         forward wavefront needs dt+ds >= 0 and dt-ds >= 0 for every
+         dependence (the diamond slope condition |ds| <= dt). *)
+      dt + ds >= 0 && dt - ds >= 0)
+    deltas

@@ -1,0 +1,32 @@
+(** Diamond tiling on the [(t, s)] plane, for the qualitative comparison
+    of Section 5 (and Grosser et al., HiStencils 2014).
+
+    Diamond tiles are bounded by the hyperplanes [t + s] and [t - s]
+    stripmined with size [tau]:
+    [tile = (⌊(t+s)/tau⌋, ⌊(t-s)/tau⌋)]. Unlike hexagonal tiles, the
+    number of integer points per diamond *varies between tiles* whenever
+    [tau] is odd (peaks alternately do and do not land on lattice
+    points), which is the control-flow-divergence hazard the paper
+    avoids; a hexagonal tiling has identical counts by construction. *)
+
+type t = { tau : int }
+
+val make : tau:int -> t
+(** Raises [Invalid_argument] if [tau < 1]. *)
+
+val tile_of : t -> t':int -> s:int -> int * int
+
+val tile_points : t -> a:int -> b:int -> (int * int) list
+(** All integer [(t, s)] points of diamond [(a, b)]. *)
+
+val count : t -> a:int -> b:int -> int
+
+val count_spectrum : t -> int list
+(** Distinct per-tile point counts over a representative set of tiles
+    (sorted). A singleton list means all tiles are identical — true for
+    even [tau], false for odd [tau] ≥ 1 with [tau > 1]. *)
+
+val wavefront_legal : t -> deltas:(int * int) list -> bool
+(** Whether all given dependence distances [(Δt, Δs)] move forward in the
+    diamond wavefront order (tiles executed by increasing [a + b], tiles
+    of equal [a + b] in parallel). *)

@@ -1,0 +1,95 @@
+open Hextile_deps
+open Hextile_util
+open Hextile_poly
+
+type t = {
+  h : int;
+  w0 : int;
+  cone : Cone.t;
+  fl0 : int;
+  fl1 : int;
+  width : int;
+  height : int;
+  poly : Polyhedron.t;
+}
+
+let frac_part r = Rat.frac r
+
+let min_w0 ~h (cone : Cone.t) =
+  let bound d =
+    Rat.add_int (Rat.add d (frac_part (Rat.mul_int d h))) (-1)
+  in
+  let m = Rat.max (bound cone.delta0) (bound cone.delta1) in
+  max 0 (Rat.ceil m)
+
+(* Constraints (6),(7),(8),(10),(12),(13) over local coordinates (a, b),
+   cleared of denominators. δ0 = p0/q0, δ1 = p1/q1. *)
+let shape_constraints ~h ~w0 ~fl0 ~fl1 (cone : Cone.t) =
+  let p0 = Rat.num cone.delta0 and q0 = Rat.den cone.delta0 in
+  let p1 = Rat.num cone.delta1 and q1 = Rat.den cone.delta1 in
+  [
+    (* (13): a >= 0 *)
+    Constr.ge [| 1; 0 |] 0;
+    (* (7): a <= 2h+1 *)
+    Constr.ge [| -1; 0 |] ((2 * h) + 1);
+    (* (6): p0·a - q0·b <= (2h+1)·p0 - q0·fl0 *)
+    Constr.ge [| -p0; q0 |] (((2 * h) + 1) * p0 - (q0 * fl0));
+    (* (8): p1·a + q1·b <= (2h+1)·p1 + q1·(fl0 + w0) *)
+    Constr.ge [| -p1; -q1 |] ((((2 * h) + 1) * p1) + (q1 * (fl0 + w0)));
+    (* (10): p1·a + q1·b >= h·p1 - (q1 - 1) *)
+    Constr.ge [| p1; q1 |] (-(h * p1) + q1 - 1);
+    (* (12): p0·a - q0·b >= h·p0 - q0·(fl0 + w0 + fl1) - (q0 - 1) *)
+    Constr.ge [| p0; -q0 |] (-(h * p0) + (q0 * (fl0 + w0 + fl1)) + q0 - 1);
+  ]
+
+let make ~h ~w0 (cone : Cone.t) =
+  if h < 0 then invalid_arg "Hexagon.make: h must be >= 0";
+  if Rat.sign cone.delta0 < 0 || Rat.sign cone.delta1 < 0 then
+    invalid_arg "Hexagon.make: cone slopes must be non-negative";
+  let need = min_w0 ~h cone in
+  if w0 < need then
+    invalid_arg
+      (Fmt.str "Hexagon.make: w0 = %d below convexity minimum %d (condition (1))"
+         w0 need);
+  let fl0 = Rat.floor (Rat.mul_int cone.delta0 h) in
+  let fl1 = Rat.floor (Rat.mul_int cone.delta1 h) in
+  let width = (2 * w0) + 2 + fl0 + fl1 in
+  let height = (2 * h) + 2 in
+  let space = Space.make [ "a"; "b" ] in
+  let poly = Polyhedron.make space (shape_constraints ~h ~w0 ~fl0 ~fl1 cone) in
+  { h; w0; cone; fl0; fl1; width; height; poly }
+
+let contains t ~a ~b = Polyhedron.contains t.poly [| a; b |]
+
+let points t =
+  List.map (fun p -> (p.(0), p.(1))) (Polyhedron.enumerate t.poly)
+
+let count t = Polyhedron.count t.poly
+
+let expected_count t = (t.h + 1) * t.width
+
+let row_range t ~a =
+  let lo = ref None and hi = ref None in
+  for b = -1 to t.width + t.fl0 + t.fl1 + 1 do
+    if contains t ~a ~b then begin
+      if !lo = None then lo := Some b;
+      hi := Some b
+    end
+  done;
+  match (!lo, !hi) with Some l, Some h -> Some (l, h) | _ -> None
+
+let render t =
+  let buf = Buffer.create 256 in
+  let bmax = t.width + t.fl0 + t.fl1 + 1 in
+  for a = 0 to (2 * t.h) + 1 do
+    Buffer.add_string buf (Fmt.str "a=%2d |" a);
+    for b = 0 to bmax do
+      Buffer.add_char buf (if contains t ~a ~b then '#' else '.')
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let pp ppf t =
+  Fmt.pf ppf "hexagon(h=%d, w0=%d, %a, width=%d, points=%d)" t.h t.w0 Cone.pp
+    t.cone t.width (count t)

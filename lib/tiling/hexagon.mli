@@ -1,0 +1,49 @@
+(** Hexagonal tile shapes (Section 3.3.2, Figure 4).
+
+    Given the tile height [h], peak width [w0] and the dependence-cone
+    slopes [δ0, δ1], the tile is the set of local box coordinates [(a, b)]
+    satisfying the paper's constraints (6), (7), (8), (10), (12), (13).
+    Local coordinate [a] spans the time direction (0 .. 2h+1), [b] the
+    hexagonally tiled space direction (0 .. width-1). *)
+
+open Hextile_deps
+open Hextile_util
+
+type t = {
+  h : int;
+  w0 : int;
+  cone : Cone.t;
+  fl0 : int;  (** [⌊δ0·h⌋] *)
+  fl1 : int;  (** [⌊δ1·h⌋] *)
+  width : int;  (** horizontal tiling period [2w0 + 2 + fl0 + fl1] *)
+  height : int;  (** vertical period of a phase pair, [2h + 2] *)
+  poly : Hextile_poly.Polyhedron.t;  (** the shape, over space [(a, b)] *)
+}
+
+val min_w0 : h:int -> Cone.t -> int
+(** Smallest [w0] satisfying the convexity condition (1):
+    [w0 ≥ max(δ0 + {δ0·h}, δ1 + {δ1·h}) - 1]. *)
+
+val make : h:int -> w0:int -> Cone.t -> t
+(** Raises [Invalid_argument] if [h < 0], [w0 < min_w0], or a slope is
+    negative. *)
+
+val contains : t -> a:int -> b:int -> bool
+val points : t -> (int * int) list
+(** All integer points of the tile, lexicographic in [(a, b)]. *)
+
+val count : t -> int
+val expected_count : t -> int
+(** [(h+1) · width] — every full tile holds exactly this many points
+    (the identical-point-count property the paper relies on to avoid
+    thread divergence; for [δ0 = δ1 = 1] it equals the Section 3.7
+    formula [2(1 + 2h + h² + w0(h+1))]). *)
+
+val row_range : t -> a:int -> (int * int) option
+(** Inclusive [b] range of tile row [a], [None] if the row is empty. *)
+
+val render : t -> string
+(** ASCII drawing of the tile in the style of Figure 4. *)
+
+val pp : t Fmt.t
+val frac_part : Rat.t -> Rat.t

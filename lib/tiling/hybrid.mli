@@ -1,0 +1,79 @@
+(** The hybrid hexagonal/classical tiling (Section 3.6).
+
+    Combines the hexagonal schedule on [(u, s0)] with classical tilings of
+    [s1..sn], mapping each statement instance to
+
+    [[T, phase, S0, S1, ..., Sn, t', s'0, s'1, ..., s'n]]
+
+    where [u = k·t + i] is the canonical schedule time of statement [i] at
+    time iteration [t]. Execution semantics (Section 4.1): [T] and [phase]
+    are the host loop (one kernel per phase); [S0] indexes parallel thread
+    blocks; [S1..Sn] and [t'] are sequential loops inside the kernel;
+    [s'0..s'n] are parallel thread dimensions with a barrier after every
+    [t'] step. *)
+
+open Hextile_deps
+open Hextile_ir
+
+type coords = {
+  phase : int;
+  tt : int;  (** time tile T *)
+  tiles : int array;  (** [S0; S1; ...; Sn] *)
+  a : int;  (** intra-tile time [t'] *)
+  intra : int array;  (** [s'0 (= b); s'1; ...; s'n] *)
+}
+
+type t = {
+  prog : Stencil.t;
+  k : int;  (** number of statements *)
+  dims : int;  (** spatial dimensions n+1 *)
+  deps : Dep.t list;
+  cone : Cone.t;  (** cone of the hexagonally tiled dimension s0 *)
+  h : int;
+  w : int array;  (** tile widths [w0; ...; wn] *)
+  hex : Hexagon.t;
+  hs : Hex_schedule.t;
+  classical : Classical.t array;  (** for dims 1..n (length dims-1) *)
+}
+
+val make : ?hex_dim:int -> Stencil.t -> h:int -> w:int array -> t
+(** Build the hybrid tiling for a program. [w] has one width per spatial
+    dimension. [hex_dim] (default 0) chooses which spatial dimension is
+    hexagonally tiled; currently only 0 is supported (the IR convention
+    puts the stride-1 dimension last, as the paper requires).
+    Raises [Invalid_argument] on bad sizes or an invalid program. *)
+
+val instance_u : t -> stmt:int -> tstep:int -> int
+(** Canonical schedule time [u = k·t + i]. *)
+
+val coords : t -> u:int -> s:int array -> coords
+(** Tile/intra coordinates of a schedule point. *)
+
+val vector : t -> coords -> int array
+(** The full schedule vector [[T; phase; S0..Sn; t'; s'0..s'n]]. *)
+
+val precedes : t -> coords -> coords -> bool
+(** Whether a dependence from the first to the second instance is honored
+    by the parallel execution model: strictly earlier [(T, phase)]; or the
+    same hexagonal tile with the consumer in a lexicographically later
+    classical tile; or the same tile everywhere with strictly increasing
+    [t']. Same [(T, phase)] but different [S0] is never legal (those tiles
+    run concurrently). *)
+
+val check_legality : t -> (string -> int) -> (unit, string) result
+(** Exhaustively verify [precedes] for every dependence instance of the
+    concrete program (all statement instances × analyzed distance
+    vectors whose endpoints are in the domain). Meant for tests and small
+    problem sizes. *)
+
+val point_of_coords : t -> coords -> (int * int array) option
+(** Reconstruct [(u, s)] from coordinates; [None] if the local coordinates
+    fall outside the hexagon (not every [(a, b)] pair is a tile point). *)
+
+val domain_u_bound : t -> (string -> int) -> int
+(** Exclusive upper bound on [u]: [k · steps]. *)
+
+val stmt_of_u : t -> int -> int
+(** [u mod k] — the statement executing at schedule time [u]. *)
+
+val tstep_of_u : t -> int -> int

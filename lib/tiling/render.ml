@@ -1,0 +1,17 @@
+let tile = Hexagon.render
+
+let pattern hs ~u_range:(ulo, uhi) ~s0_range:(slo, shi) =
+  let buf = Buffer.create 1024 in
+  for u = uhi downto ulo do
+    Buffer.add_string buf (Fmt.str "u=%3d |" u);
+    for s0 = slo to shi do
+      let tt, phase, s_tile = Hex_schedule.tile_of hs ~u ~s0 in
+      let base = if phase = 0 then 'A' else 'a' in
+      let idx = Hextile_util.Intutil.fmod (tt + (2 * s_tile)) 4 in
+      Buffer.add_char buf (Char.chr (Char.code base + idx))
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.add_string buf
+    (Fmt.str "       phase 0 = A..D, phase 1 = a..d; s0 = %d..%d\n" slo shi);
+  Buffer.contents buf

@@ -1,0 +1,11 @@
+(** ASCII renderings of the tiling figures.
+
+    [pattern] draws the two-phase hexagonal tiling of the [(u, s0)] plane
+    in the style of Figure 5 — phase 0 tiles as letters [A, B, ...] keyed
+    by [S0] parity, phase 1 tiles as [a, b, ...]. [tile] reproduces
+    Figure 4 (one hexagon). *)
+
+val tile : Hexagon.t -> string
+
+val pattern :
+  Hex_schedule.t -> u_range:int * int -> s0_range:int * int -> string

@@ -1,0 +1,48 @@
+(** Tile size selection by load-to-compute ratio (Section 3.7).
+
+    For a generic (non-boundary) tile the number of iterations and the
+    number of global loads are computed exactly by enumerating the tile's
+    integer points — the automated counterpart of the paper's manually
+    derived counting functions. Candidate sizes whose shared-memory
+    footprint (rectangular-box over-approximation, as allocated by the
+    code generator) fits the budget are ranked by loads/iteration. *)
+
+open Hextile_ir
+
+type stats = {
+  iterations : int;  (** statement instances per full tile *)
+  loads : int;
+      (** distinct global cells read before any intra-tile write *)
+  stores : int;  (** distinct cells written *)
+  footprint_box : int;
+      (** floats of shared memory for the per-array bounding boxes *)
+  ratio : float;  (** loads /. iterations *)
+}
+
+type choice = { h : int; w : int array; stats : stats }
+
+val tile_stats : Hybrid.t -> stats
+(** Statistics of one generic interior tile of the given tiling. *)
+
+val iterations_formula_3d : h:int -> w0:int -> w1:int -> w2:int -> int
+(** The paper's closed form [2(1+2h+h²+w0(h+1))·w1·w2], valid for
+    3D stencils with [δ0 = δ1 = 1]. *)
+
+val select :
+  Stencil.t ->
+  h_candidates:int list ->
+  w0_candidates:int list ->
+  wi_candidates:int list list ->
+  shared_mem_floats:int ->
+  ?require_multiple:int ->
+  unit ->
+  choice option
+(** Exhaustive search over the candidate lists; [wi_candidates] has one
+    list per inner spatial dimension. [require_multiple] constrains the
+    innermost width (warp-size alignment, Section 4.2.3). [h] candidates
+    violating the [h+1 ≡ 0 (mod k)] rule or [w0] below the convexity
+    minimum are skipped silently. Returns the feasible choice with the
+    smallest load-to-compute ratio (ties: more iterations first). *)
+
+val pp_stats : stats Fmt.t
+val pp_choice : choice Fmt.t

@@ -1,0 +1,30 @@
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+
+let lcm a b = if a = 0 || b = 0 then 0 else abs (a / gcd a b * b)
+
+let fdiv a b =
+  let q = a / b and r = a mod b in
+  if r <> 0 && (r < 0) <> (b < 0) then q - 1 else q
+
+let fmod a b = a - (b * fdiv a b)
+
+let cdiv a b = -fdiv (-a) b
+
+let pow b e =
+  assert (e >= 0);
+  let rec go acc b e =
+    if e = 0 then acc
+    else if e land 1 = 1 then go (acc * b) (b * b) (e asr 1)
+    else go acc (b * b) (e asr 1)
+  in
+  go 1 b e
+
+let range lo hi =
+  let rec go i acc = if i < lo then acc else go (i - 1) (i :: acc) in
+  go hi []
+
+let sum = List.fold_left ( + ) 0
+
+let fold_range lo hi ~init ~f =
+  let rec go acc i = if i > hi then acc else go (f acc i) (i + 1) in
+  go init lo

@@ -1,0 +1,35 @@
+(** Integer helpers with floor semantics.
+
+    OCaml's built-in [/] and [mod] truncate toward zero; polyhedral
+    schedules need floor division and the matching non-negative remainder
+    (the paper's [⌊·⌋] and [mod]). All functions here use floor
+    semantics. *)
+
+val gcd : int -> int -> int
+(** [gcd a b] is the non-negative greatest common divisor; [gcd 0 0 = 0]. *)
+
+val lcm : int -> int -> int
+(** Least common multiple, non-negative. [lcm 0 _ = 0]. *)
+
+val fdiv : int -> int -> int
+(** [fdiv a b] is [⌊a/b⌋]. [b] must be non-zero; works for negative [a]
+    and negative [b]. *)
+
+val fmod : int -> int -> int
+(** [fmod a b] is [a - b * fdiv a b]; has the sign of [b] (non-negative
+    for positive [b]). *)
+
+val cdiv : int -> int -> int
+(** [cdiv a b] is [⌈a/b⌉]. *)
+
+val pow : int -> int -> int
+(** [pow b e] for [e >= 0]. *)
+
+val range : int -> int -> int list
+(** [range lo hi] is [[lo; lo+1; ...; hi]]; empty if [lo > hi]. *)
+
+val sum : int list -> int
+
+val fold_range : int -> int -> init:'a -> f:('a -> int -> 'a) -> 'a
+(** [fold_range lo hi ~init ~f] folds [f] over [lo..hi] inclusive without
+    materialising the list. *)

@@ -1,0 +1,64 @@
+(** Exact rational arithmetic over native integers.
+
+    Values are kept normalised: positive denominator, numerator and
+    denominator coprime. Native [int] (63-bit) is ample for the small
+    coefficients appearing in tiling schedules and the simplex tableaux of
+    this project; overflow is not checked. *)
+
+type t = private { num : int; den : int }
+
+val make : int -> int -> t
+(** [make num den] normalises; raises [Division_by_zero] if [den = 0]. *)
+
+val of_int : int -> t
+
+val zero : t
+val one : t
+val minus_one : t
+
+val num : t -> int
+val den : t -> int
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+(** [div] raises [Division_by_zero] on a zero divisor. *)
+
+val neg : t -> t
+val inv : t -> t
+val abs : t -> t
+
+val mul_int : t -> int -> t
+val add_int : t -> int -> t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val sign : t -> int
+val min : t -> t -> t
+val max : t -> t -> t
+
+val is_integer : t -> bool
+
+val floor : t -> int
+(** [⌊x⌋]. *)
+
+val ceil : t -> int
+(** [⌈x⌉]. *)
+
+val frac : t -> t
+(** Fractional part [{x} = x - ⌊x⌋], in [[0, 1)]. *)
+
+val to_float : t -> float
+val pp : t Fmt.t
+val to_string : t -> string
+
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+val ( * ) : t -> t -> t
+val ( / ) : t -> t -> t
+val ( < ) : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+val ( = ) : t -> t -> bool

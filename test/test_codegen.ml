@@ -1,0 +1,109 @@
+open Hextile_codegen
+open Hextile_stencils
+open Hextile_tiling
+
+let contains ~sub s =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let test_figure2_counts () =
+  (* The paper's Figure 2: 3 shared loads, 5 compute instructions, 1 store. *)
+  let l = Ptx_emit.core_listing Suite.jacobi2d (List.hd Suite.jacobi2d.stmts) in
+  Alcotest.(check int) "3 loads" 3 l.loads;
+  Alcotest.(check int) "5 arith" 5 l.arith;
+  Alcotest.(check int) "1 store" 1 l.stores;
+  Alcotest.(check bool) "has the 0.2f constant" true
+    (contains ~sub:"0f3E4CCCCD" l.text);
+  Alcotest.(check bool) "ld.shared present" true (contains ~sub:"ld.shared.f32" l.text);
+  Alcotest.(check bool) "st.shared present" true (contains ~sub:"st.shared.f32" l.text)
+
+let test_hexfloat () =
+  Alcotest.(check string) "0.2f" "0f3E4CCCCD" (Ptx_emit.hexfloat 0.2);
+  Alcotest.(check string) "1.0f" "0f3F800000" (Ptx_emit.hexfloat 1.0);
+  Alcotest.(check string) "-1.0f" "0fBF800000" (Ptx_emit.hexfloat (-1.0))
+
+let test_register_reuse_by_kernel () =
+  (* heat2d 9-point: sweeping dim 0 keeps the two trailing 3-cell
+     columns in registers -> only the leading column (3 cells) loads. *)
+  let l = Ptx_emit.core_listing Suite.heat2d (List.hd Suite.heat2d.stmts) in
+  Alcotest.(check int) "heat2d loads 3 of 9" 3 l.loads;
+  Alcotest.(check int) "heat2d arith" 9 l.arith;
+  (* laplacian2d 5-point: center + west available -> 3 loads *)
+  let l = Ptx_emit.core_listing Suite.laplacian2d (List.hd Suite.laplacian2d.stmts) in
+  Alcotest.(check int) "laplacian2d loads" 3 l.loads
+
+let test_sweep_dim () =
+  (* sweeping the x dimension instead changes which neighbours are reused *)
+  let l0 = Ptx_emit.core_listing ~sweep_dim:0 Suite.heat3d (List.hd Suite.heat3d.stmts) in
+  let l1 = Ptx_emit.core_listing ~sweep_dim:2 Suite.heat3d (List.hd Suite.heat3d.stmts) in
+  Alcotest.(check int) "27-point, dim0 sweep: 9 loads" 9 l0.loads;
+  Alcotest.(check int) "27-point, dim2 sweep: 9 loads" 9 l1.loads;
+  Alcotest.(check bool) "different addresses" true (l0.text <> l1.text)
+
+let test_cuda_emit_structure () =
+  let prog = Suite.heat2d in
+  let t = Hybrid.make prog ~h:3 ~w:[| 4; 32 |] in
+  let code = Cuda_emit.host_and_kernels t prog in
+  List.iter
+    (fun sub ->
+      Alcotest.(check bool) (Fmt.str "contains %S" sub) true (contains ~sub code))
+    [
+      "__global__ void heat2d_phase0";
+      "__global__ void heat2d_phase1";
+      "__shared__ float shm_A";
+      "__syncthreads()";
+      "heat2d_phase0<<<";
+      "for (int tp = 0; tp < 8; ++tp)";
+      "IS_FULL_TILE";
+      "#pragma unroll";
+      "interleaved copy-out";
+    ]
+
+let test_cuda_emit_guards () =
+  (* partial-tile guards come from the hexagon constraints *)
+  let prog = Suite.heat2d in
+  let t = Hybrid.make prog ~h:3 ~w:[| 4; 32 |] in
+  let code = Cuda_emit.kernel t prog ~phase:1 in
+  Alcotest.(check bool) "guard on tp+b" true (contains ~sub:"tp + b" code);
+  Alcotest.(check bool) "guard count >= 4" true
+    (let count = ref 0 in
+     String.iteri
+       (fun i c -> if c = '>' && i + 1 < String.length code && code.[i + 1] = '=' then incr count)
+       code;
+     !count >= 4)
+
+let test_cuda_emit_multistatement () =
+  let prog = Suite.fdtd2d in
+  let t = Hybrid.make prog ~h:2 ~w:[| 3; 32 |] in
+  let code = Cuda_emit.kernel t prog ~phase:0 in
+  List.iter
+    (fun sub -> Alcotest.(check bool) sub true (contains ~sub code))
+    [ "// Sey"; "// Sex"; "// Shz"; "if (u % 3 == 0)"; "if (u % 3 == 2)" ]
+
+let test_opencl_emit () =
+  let prog = Suite.heat2d in
+  let t = Hybrid.make prog ~h:3 ~w:[| 4; 32 |] in
+  let code = Opencl_emit.host_and_kernels t prog in
+  List.iter
+    (fun sub ->
+      Alcotest.(check bool) (Fmt.str "contains %S" sub) true (contains ~sub code))
+    [
+      "__kernel void heat2d_phase0";
+      "__local float shm_A";
+      "barrier(CLK_LOCAL_MEM_FENCE)";
+      "get_group_id(0)";
+      "clEnqueueNDRangeKernel";
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "Figure 2 reproduction" `Quick test_figure2_counts;
+    Alcotest.test_case "hexfloat encoding" `Quick test_hexfloat;
+    Alcotest.test_case "register reuse per kernel" `Quick test_register_reuse_by_kernel;
+    Alcotest.test_case "sweep dimension" `Quick test_sweep_dim;
+    Alcotest.test_case "CUDA emitter structure" `Quick test_cuda_emit_structure;
+    Alcotest.test_case "CUDA partial-tile guards" `Quick test_cuda_emit_guards;
+    Alcotest.test_case "CUDA multi-statement kernel" `Quick test_cuda_emit_multistatement;
+    Alcotest.test_case "OpenCL emitter" `Quick test_opencl_emit;
+  ]

@@ -1,0 +1,174 @@
+open Hextile_deps
+open Hextile_stencils
+open Hextile_util
+
+let dist_list deps = List.map Array.to_list (Dep.distance_vectors deps)
+
+let test_contrived_distances () =
+  (* Paper Sec 3.3.2: flow distances {(1,-2); (2,2)}; memory-based adds
+     the matching anti deps (same vectors here) and the output dep (3,0). *)
+  let deps = Dep.analyze Suite.contrived in
+  let dists = dist_list deps in
+  Alcotest.(check (list (list int)))
+    "distance set"
+    [ [ 1; -2 ]; [ 2; 2 ]; [ 3; 0 ] ]
+    dists
+
+let test_contrived_cone () =
+  let deps = Dep.analyze Suite.contrived in
+  let cone = Cone.of_deps deps ~dim:0 in
+  Alcotest.(check bool) "delta0 = 1" true (Rat.equal cone.delta0 Rat.one);
+  Alcotest.(check bool) "delta1 = 2" true (Rat.equal cone.delta1 (Rat.of_int 2));
+  Alcotest.(check bool) "cone admits deps" true (Cone.check cone deps ~dim:0)
+
+let test_jacobi_distances () =
+  let deps = Dep.analyze Suite.jacobi2d in
+  let dists = dist_list deps in
+  (* flow (1,-o) and anti (1,o) for all 5 read offsets, plus output (2,0,0). *)
+  let expected =
+    List.sort_uniq compare
+      ([ [ 2; 0; 0 ] ]
+      @ List.concat_map
+          (fun (a, b) -> [ [ 1; a; b ]; [ 1; -a; -b ] ])
+          [ (0, 0); (1, 0); (-1, 0); (0, 1); (0, -1) ])
+  in
+  Alcotest.(check (list (list int))) "jacobi distance set" expected dists
+
+let test_jacobi_cone () =
+  let deps = Dep.analyze Suite.jacobi2d in
+  let c0 = Cone.of_deps deps ~dim:0 in
+  let c1 = Cone.of_deps deps ~dim:1 in
+  Alcotest.(check bool) "dim0 δ0=δ1=1" true
+    (Rat.equal c0.delta0 Rat.one && Rat.equal c0.delta1 Rat.one);
+  Alcotest.(check bool) "dim1 δ0=δ1=1" true
+    (Rat.equal c1.delta0 Rat.one && Rat.equal c1.delta1 Rat.one)
+
+let test_fdtd_cone () =
+  let deps = Dep.analyze Suite.fdtd2d in
+  List.iter
+    (fun (d : Dep.t) ->
+      Alcotest.(check bool) "Δu >= 1" true (d.dist.(0) >= 1))
+    deps;
+  let c0 = Cone.of_deps deps ~dim:0 in
+  (* hz->ey flow (1,1,0) gives δ0 = 1; the backward distances have Δu=2,
+     so δ1 = 1/2. *)
+  Alcotest.(check bool) "fdtd δ0 dim0 = 1" true (Rat.equal c0.delta0 Rat.one);
+  Alcotest.(check bool) "fdtd δ1 dim0 = 1/2" true (Rat.equal c0.delta1 (Rat.make 1 2));
+  Alcotest.(check bool) "cone admits" true (Cone.check c0 deps ~dim:0)
+
+let test_multi_statement_du () =
+  (* fdtd has k=3 statements: distances must respect Δu ≡ (i2-i1) mod 3. *)
+  let deps = Dep.analyze Suite.fdtd2d in
+  List.iter
+    (fun (d : Dep.t) ->
+      let m = Intutil.fmod (d.dist.(0) - (d.dst - d.src)) 3 in
+      Alcotest.(check int) "Δu congruent to stmt index gap" 0 m)
+    deps
+
+let test_heat3d_symmetric () =
+  let deps = Dep.analyze Suite.heat3d in
+  List.iteri
+    (fun dim () ->
+      let c = Cone.of_deps deps ~dim in
+      Alcotest.(check bool)
+        (Fmt.str "heat3d dim%d δ0=δ1=1" dim)
+        true
+        (Rat.equal c.delta0 Rat.one && Rat.equal c.delta1 Rat.one))
+    [ (); (); () ]
+
+let test_delta1_only () =
+  let deps = Dep.analyze Suite.jacobi2d in
+  Alcotest.(check bool) "δ1 classical dim" true
+    (Rat.equal (Cone.delta1_only deps ~dim:1) Rat.one)
+
+let test_rays () =
+  let deps = Dep.analyze Suite.contrived in
+  let c = Cone.of_deps deps ~dim:0 in
+  let (t0, s0), (t1, s1) = Cone.rays c in
+  Alcotest.(check bool) "ray0 = (-1,-1)" true
+    (Rat.equal t0 Rat.minus_one && Rat.equal s0 Rat.minus_one);
+  Alcotest.(check bool) "ray1 = (-1,2)" true
+    (Rat.equal t1 Rat.minus_one && Rat.equal s1 (Rat.of_int 2))
+
+(* Property: brute-force dependence check. For a small 1D folded stencil,
+   every pair of instances accessing a common cell (one a write) in the
+   reference execution must be separated by some recorded distance
+   direction: specifically the earlier access's (Δu, Δx) to the later one
+   must lie in the cone computed from analyzed deps. *)
+let prop_deps_cover_execution =
+  QCheck.Test.make ~name:"analyzed cone covers all concrete conflicts" ~count:20
+    QCheck.(int_range 2 4)
+    (fun steps ->
+      let prog = Suite.contrived in
+      let n = 12 in
+      let env p = if p = "N" then n else steps in
+      let k = List.length prog.stmts in
+      (* record (u, x, cell, is_write) for every access instance *)
+      let log = ref [] in
+      let steps_v = steps in
+      for t = 0 to steps_v - 1 do
+        List.iteri
+          (fun i (s : Hextile_ir.Stencil.stmt) ->
+            let lo = Array.map (fun e -> Hextile_ir.Affp.eval e env) s.lo in
+            let hi = Array.map (fun e -> Hextile_ir.Affp.eval e env) s.hi in
+            for x = lo.(0) to hi.(0) do
+              let u = (k * t) + i in
+              let cell_of (a : Hextile_ir.Stencil.access) =
+                (Intutil.fmod (t + a.time_off) 3, x + a.offsets.(0))
+              in
+              log := (u, x, cell_of s.write, true) :: !log;
+              List.iter
+                (fun a -> log := (u, x, cell_of a, false) :: !log)
+                (Hextile_ir.Stencil.reads s)
+            done)
+          prog.stmts
+      done;
+      let cone = Cone.of_deps (Dep.analyze prog) ~dim:0 in
+      let entries = Array.of_list !log in
+      let ok = ref true in
+      Array.iter
+        (fun (u1, x1, c1, w1) ->
+          Array.iter
+            (fun (u2, x2, c2, w2) ->
+              if c1 = c2 && (w1 || w2) && u1 < u2 then begin
+                let du = u2 - u1 and dx = x2 - x1 in
+                (* inside cone: dx <= δ0*du and dx >= -δ1*du *)
+                let upper = Rat.mul_int cone.delta0 du in
+                let lower = Rat.neg (Rat.mul_int cone.delta1 du) in
+                if
+                  not
+                    (Rat.compare (Rat.of_int dx) upper <= 0
+                    && Rat.compare (Rat.of_int dx) lower >= 0)
+                then ok := false
+              end)
+            entries)
+        entries;
+      !ok)
+
+let test_wave2d_cone () =
+  (* second-order time: flow distances at Δu=1 (previous level, ±1 space)
+     and Δu=2 (level t); symmetric spatial cone of slope 1 *)
+  let deps = Dep.analyze Suite.wave2d in
+  let dists = dist_list deps in
+  Alcotest.(check bool) "has (1,±1,0) flow" true
+    (List.mem [ 1; 1; 0 ] dists && List.mem [ 1; -1; 0 ] dists);
+  Alcotest.(check bool) "has Δu=2 distance" true
+    (List.exists (fun d -> List.hd d = 2) dists);
+  let c = Cone.of_deps deps ~dim:0 in
+  Alcotest.(check bool) "wave cone δ0=δ1=1" true
+    (Rat.equal c.delta0 Rat.one && Rat.equal c.delta1 Rat.one)
+
+let suite =
+  [
+    Alcotest.test_case "contrived distances (paper example)" `Quick test_contrived_distances;
+    Alcotest.test_case "contrived cone δ0=1 δ1=2" `Quick test_contrived_cone;
+    Alcotest.test_case "jacobi distances" `Quick test_jacobi_distances;
+    Alcotest.test_case "jacobi cone" `Quick test_jacobi_cone;
+    Alcotest.test_case "fdtd cone (rational δ1)" `Quick test_fdtd_cone;
+    Alcotest.test_case "multi-statement Δu congruence" `Quick test_multi_statement_du;
+    Alcotest.test_case "heat3d symmetric cones" `Quick test_heat3d_symmetric;
+    Alcotest.test_case "delta1_only" `Quick test_delta1_only;
+    Alcotest.test_case "cone rays (Figure 3)" `Quick test_rays;
+    QCheck_alcotest.to_alcotest prop_deps_cover_execution;
+    Alcotest.test_case "wave2d cone (second-order time)" `Quick test_wave2d_cone;
+  ]

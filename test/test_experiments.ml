@@ -1,0 +1,81 @@
+module E = Hextile_experiments.Experiments
+open Hextile_gpusim
+open Hextile_stencils
+
+let tiny2 = [ ("N", 48); ("T", 8) ]
+
+let test_sizes () =
+  let s2 = E.sizes ~quick:true Suite.heat2d in
+  Alcotest.(check bool) "2D quick N" true (List.assoc "N" s2 >= 64);
+  let s3 = E.sizes ~quick:true Suite.heat3d in
+  Alcotest.(check bool) "3D smaller than 2D" true
+    (List.assoc "N" s3 < List.assoc "N" s2);
+  let f3 = E.sizes ~quick:false Suite.heat3d in
+  Alcotest.(check bool) "full > quick" true (List.assoc "N" f3 > List.assoc "N" s3)
+
+let test_scaled_device () =
+  let env = E.sizes ~quick:true Suite.heat2d in
+  let d = E.scaled_device Device.gtx470 Suite.heat2d env in
+  Alcotest.(check bool) "L2 shrinks" true (d.l2_bytes < Device.gtx470.l2_bytes);
+  Alcotest.(check bool) "L2 floor" true (d.l2_bytes >= 4096);
+  Alcotest.(check bool) "SMs shrink" true (d.sms < Device.gtx470.sms && d.sms >= 1);
+  Alcotest.(check bool) "bandwidth scales with SMs" true
+    (d.dram_bw_gbs < Device.gtx470.dram_bw_gbs);
+  (* machine balance preserved: bytes per flop unchanged *)
+  let balance (x : Device.t) = x.dram_bw_gbs /. Device.peak_gflops x in
+  Alcotest.(check (float 1e-9)) "balance" (balance Device.gtx470) (balance d)
+
+let test_run_scheme_verifies () =
+  List.iter
+    (fun s ->
+      let r = E.run_scheme s Suite.heat2d tiny2 Device.gtx470 in
+      Alcotest.(check bool)
+        (E.scheme_name s ^ " positive rate")
+        true
+        (Hextile_schemes.Common.gstencils_per_s r > 0.0))
+    [ E.Ppcg; E.Par4all; E.Overtile; E.Patus; E.Hybrid ]
+
+let test_paper_tables_complete () =
+  List.iter
+    (fun dev ->
+      let rows = E.paper_table12 dev in
+      Alcotest.(check int) "7 kernels" 7 (List.length rows);
+      List.iter
+        (fun (_, cells) -> Alcotest.(check int) "4 schemes" 4 (List.length cells))
+        rows)
+    [ Device.gtx470; Device.nvs5200m ]
+
+let test_figures_nonempty () =
+  List.iter
+    (fun (name, f) ->
+      Alcotest.(check bool) (name ^ " nonempty") true (String.length (f ()) > 40))
+    [
+      ("fig2", E.figure2_text);
+      ("fig3", E.figure3_text);
+      ("fig4", E.figure4_text);
+      ("fig5", E.figure5_text);
+      ("fig6", E.figure6_text);
+      ("table3", E.table3_text);
+      ("tilesize", E.tile_size_sweep_text);
+    ]
+
+let test_verification_catches_corruption () =
+  let prog = Suite.heat2d in
+  let r = E.run_scheme E.Ppcg prog tiny2 Device.gtx470 in
+  (* flip one value and re-verify: must be detected *)
+  let g = Hextile_ir.Grid.find r.grids "A" in
+  g.data.(Array.length g.data / 2) <- g.data.(Array.length g.data / 2) +. 1.0;
+  let reference = Hextile_ir.Interp.run prog (fun p -> List.assoc p tiny2) in
+  Alcotest.(check bool) "corruption detected" false
+    (Hextile_ir.Grid.equal g (Hextile_ir.Grid.find reference "A"))
+
+let suite =
+  [
+    Alcotest.test_case "experiment sizes" `Quick test_sizes;
+    Alcotest.test_case "scaled device preserves balance" `Quick test_scaled_device;
+    Alcotest.test_case "run_scheme verifies all schemes" `Slow test_run_scheme_verifies;
+    Alcotest.test_case "paper reference tables complete" `Quick test_paper_tables_complete;
+    Alcotest.test_case "figure texts render" `Quick test_figures_nonempty;
+    Alcotest.test_case "verification catches corruption" `Quick
+      test_verification_catches_corruption;
+  ]

@@ -1,0 +1,277 @@
+open Hextile_frontend
+open Hextile_ir
+
+let parse_ok src =
+  match Front.parse_string ~name:"test" src with
+  | Ok p -> p
+  | Error m -> Alcotest.failf "unexpected parse error: %s" m
+
+let parse_err src =
+  match Front.parse_string ~name:"test" src with
+  | Ok _ -> Alcotest.failf "expected an error for %S" src
+  | Error m -> m
+
+let jacobi_src =
+  {|float A[2][N][N];
+for (t = 0; t < T; t++)
+  for (i = 1; i < N - 1; i++)
+    for (j = 1; j < N - 1; j++)
+      A[(t+1)%2][i][j] = 0.2f * (A[t%2][i][j] +
+        A[t%2][i+1][j] + A[t%2][i-1][j] +
+        A[t%2][i][j+1] + A[t%2][i][j-1]);
+|}
+
+let test_lexer () =
+  let lx = Lexer.of_string "for (i0 = 0; i0 < N - 1; i0++) // comment\n x[1]" in
+  let toks = ref [] in
+  let rec go () =
+    match Lexer.next lx with
+    | Lexer.Eof -> ()
+    | t ->
+        toks := t :: !toks;
+        go ()
+  in
+  go ();
+  Alcotest.(check int) "token count" 19 (List.length !toks);
+  Alcotest.(check bool) "has for" true (List.mem Lexer.Kw_for !toks);
+  Alcotest.(check bool) "has ++" true (List.mem Lexer.PlusPlus !toks)
+
+let test_lexer_literals () =
+  let one src expect =
+    let lx = Lexer.of_string src in
+    Alcotest.(check bool) src true (Lexer.next lx = expect)
+  in
+  one "42" (Lexer.Int 42);
+  one "0.5f" (Lexer.Float 0.5);
+  one "2f" (Lexer.Float 2.0);
+  one "1e3" (Lexer.Float 1000.0);
+  one "1.5e-2" (Lexer.Float 0.015)
+
+let test_lexer_comments () =
+  let lx = Lexer.of_string "/* multi\nline */ 7 # preprocessor\n 8" in
+  Alcotest.(check bool) "7" true (Lexer.next lx = Lexer.Int 7);
+  Alcotest.(check bool) "8" true (Lexer.next lx = Lexer.Int 8);
+  Alcotest.(check bool) "eof" true (Lexer.next lx = Lexer.Eof)
+
+let test_lexer_error_position () =
+  match Lexer.of_string "\n  @" with
+  | exception Lexer.Error (pos, _) ->
+      Alcotest.(check int) "line" 2 pos.line;
+      Alcotest.(check int) "col" 3 pos.col
+  | _ -> Alcotest.fail "expected lexer error"
+
+let test_parse_jacobi () =
+  let p = parse_ok jacobi_src in
+  Alcotest.(check int) "one statement" 1 (List.length p.stmts);
+  Alcotest.(check (list string)) "params" [ "N"; "T" ] p.params;
+  let a = Stencil.array_decl p "A" in
+  Alcotest.(check (option int)) "fold 2" (Some 2) a.fold;
+  let s = List.hd p.stmts in
+  Alcotest.(check int) "write time_off" 1 s.write.time_off;
+  Alcotest.(check int) "5 loads" 5 (List.length (Stencil.distinct_reads s));
+  Alcotest.(check int) "5 flops" 5 (Stencil.flops s)
+
+let test_parse_matches_builtin () =
+  let p = parse_ok jacobi_src in
+  let env x = List.assoc x [ ("N", 20); ("T", 9) ] in
+  let a = Interp.run p env and b = Interp.run Hextile_stencils.Suite.jacobi2d env in
+  Alcotest.(check bool) "semantics match builtin jacobi2d" true
+    (Grid.equal (Grid.find a "A") (Grid.find b "A"))
+
+let test_parse_multi_statement () =
+  let src =
+    {|float ey[N][N];
+float hz[N][N];
+for (t = 0; t < T; t++) {
+  for (i = 1; i < N - 1; i++)
+    for (j = 1; j < N - 1; j++)
+      ey[i][j] = ey[i][j] - 0.5f * (hz[i][j] - hz[i-1][j]);
+  for (i = 1; i < N - 1; i++)
+    for (j = 1; j < N - 1; j++)
+      hz[i][j] = hz[i][j] - 0.7f * (ey[i+1][j] - ey[i][j]);
+}
+|}
+  in
+  let p = parse_ok src in
+  Alcotest.(check int) "two statements" 2 (List.length p.stmts);
+  List.iter
+    (fun (a : Stencil.array_decl) ->
+      Alcotest.(check (option int)) "in-place arrays" None a.fold)
+    p.arrays
+
+let test_le_bound () =
+  let src =
+    {|float A[2][N];
+for (t = 0; t < T; t++)
+  for (i = 1; i <= N - 2; i++)
+    A[(t+1)%2][i] = 0.5f * (A[t%2][i-1] + A[t%2][i+1]);
+|}
+  in
+  let p = parse_ok src in
+  let s = List.hd p.stmts in
+  Alcotest.(check bool) "hi is N-2" true (Affp.equal s.hi.(0) (Affp.add_const (Affp.param "N") (-2)))
+
+let contains ~sub s =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let test_errors () =
+  let cases =
+    [
+      ("for (t = 1; t < T; t++) for (i = 0; i < N; i++) A[i] = 1.0;", "start at 0");
+      ( {|float A[N]; for (t = 0; t < T; t++) for (i = 0; i < N; i++) A[i] = B[i];|},
+        "not declared" );
+      ( {|float A[N]; for (t = 0; t < T; t++) for (i = 0; i < N; i++) A[i] = A[2*i];|},
+        "iterator + constant" );
+      ( {|float A[N]; for (t = 0; t < T; t++) for (i = 0; i < N; i++) A[t] = 1.0;|},
+        "buffering" );
+      ( {|float A[N][N]; for (t = 0; t < T; t++) for (i = 0; i < N; i++) A[i][i] = 1.0;|},
+        "nest order" );
+      ( {|float A[N]; for (t = 0; t < T; t++) for (i = 0; i < N; i++) A[i] += 1.0;|},
+        "+=" );
+      ( {|float A[N]; for (t = 0; t < T; t++) for (i = 0; i < N; i++) { A[i] = 1.0; A[i] = 2.0; }|},
+        "imperfect" );
+      ( {|float A[1][N]; for (t = 0; t < T; t++) for (i = 0; i < N; i++) A[(t+1)%2][i] = 1.0;|},
+        "buffers" );
+    ]
+  in
+  List.iter
+    (fun (src, frag) ->
+      let m = parse_err src in
+      if not (contains ~sub:frag m) then
+        Alcotest.failf "error %S does not mention %S" m frag)
+    cases
+
+let test_error_position_reported () =
+  let m = parse_err "float A[N];\nfor (t = 0; t < T; t++)\n  A[0] = 1.0;" in
+  Alcotest.(check bool) "has line info" true (contains ~sub:"line 3" m)
+
+let test_parse_all_benchmark_sources () =
+  (* round-trip: pretty-print style sources for 3D and contrived folds *)
+  let src3d =
+    {|float A[2][N][N][N];
+for (t = 0; t < T; t++)
+  for (i = 1; i < N - 1; i++)
+    for (j = 1; j < N - 1; j++)
+      for (k = 1; k < N - 1; k++)
+        A[(t+1)%2][i][j][k] = 0.1f * (A[t%2][i-1][j][k] + A[t%2][i+1][j][k]
+          + A[t%2][i][j-1][k] + A[t%2][i][j+1][k]
+          + A[t%2][i][j][k-1] + A[t%2][i][j][k+1]) + 0.4f * A[t%2][i][j][k];
+|}
+  in
+  let p = parse_ok src3d in
+  Alcotest.(check int) "3 spatial dims" 3 (Stencil.spatial_dims p);
+  let env x = List.assoc x [ ("N", 10); ("T", 6) ] in
+  let a = Interp.run p env and b = Interp.run Hextile_stencils.Suite.laplacian3d env in
+  Alcotest.(check bool) "matches builtin laplacian3d" true
+    (Grid.equal (Grid.find a "A") (Grid.find b "A"))
+
+let test_fold3 () =
+  let src =
+    {|float A[3][N];
+for (t = 0; t < T; t++)
+  for (i = 2; i < N - 2; i++)
+    A[(t+2)%3][i] = 0.5f * (A[t%3][i-2] + A[(t+1)%3][i+2]);
+|}
+  in
+  let p = parse_ok src in
+  let env x = List.assoc x [ ("N", 30); ("T", 10) ] in
+  let a = Interp.run p env and b = Interp.run Hextile_stencils.Suite.contrived env in
+  Alcotest.(check bool) "matches builtin contrived" true
+    (Grid.equal (Grid.find a "A") (Grid.find b "A"))
+
+(* Round-trip fuzzing: build a random single-statement 2D stencil, print
+   it as C source, parse it back, and compare the two programs'
+   executions point for point. *)
+let prop_roundtrip_random_stencil =
+  let arb =
+    QCheck.(
+      list_of_size (Gen.int_range 1 5)
+        (triple (int_range (-2) 2) (int_range (-2) 2) (int_range 1 8)))
+  in
+  QCheck.Test.make ~name:"frontend round-trip on random stencils" ~count:40 arb
+    (fun terms ->
+      (* exactly-representable weights k/8 *)
+      let term_src (di, dj, k) =
+        let idx v o =
+          if o = 0 then v else if o > 0 then Printf.sprintf "%s+%d" v o
+          else Printf.sprintf "%s-%d" v (-o)
+        in
+        Printf.sprintf "%d.0f / 8.0f * A[t%%2][%s][%s]" k (idx "i" di) (idx "j" dj)
+      in
+      let src =
+        Printf.sprintf
+          "float A[2][N][N];\nfor (t = 0; t < T; t++)\n for (i = 2; i < N - 2; i++)\n  for (j = 2; j < N - 2; j++)\n   A[(t+1)%%2][i][j] = %s;"
+          (String.concat " + " (List.map term_src terms))
+      in
+      match Front.parse_string ~name:"fuzz" src with
+      | Error m -> QCheck.Test.fail_reportf "parse error: %s" m
+      | Ok parsed ->
+          (* reference built directly in the IR *)
+          let open Stencil in
+          let acc di dj =
+            { array = "A"; time_off = 0; offsets = [| di; dj |] }
+          in
+          let rhs =
+            match
+              List.map
+                (fun (di, dj, k) ->
+                  Bin
+                    ( Mul,
+                      Bin (Div, Fconst (float_of_int k), Fconst 8.0),
+                      Read (acc di dj) ))
+                terms
+            with
+            | [] -> assert false
+            | x :: rest -> List.fold_left (fun a b -> Bin (Add, a, b)) x rest
+          in
+          let direct =
+            {
+              name = "fuzz";
+              params = [ "N"; "T" ];
+              steps = Affp.param "T";
+              arrays =
+                [
+                  {
+                    aname = "A";
+                    extents = [| Affp.param "N"; Affp.param "N" |];
+                    fold = Some 2;
+                  };
+                ];
+              stmts =
+                [
+                  {
+                    sname = "S0";
+                    lo = [| Affp.const 2; Affp.const 2 |];
+                    hi =
+                      [|
+                        Affp.add_const (Affp.param "N") (-3);
+                        Affp.add_const (Affp.param "N") (-3);
+                      |];
+                    write = { array = "A"; time_off = 1; offsets = [| 0; 0 |] };
+                    rhs;
+                  };
+                ];
+            }
+          in
+          let env p = List.assoc p [ ("N", 14); ("T", 5) ] in
+          let a = Interp.run parsed env and b = Interp.run direct env in
+          Grid.equal (Grid.find a "A") (Grid.find b "A"))
+
+let suite =
+  [
+    Alcotest.test_case "lexer tokens" `Quick test_lexer;
+    Alcotest.test_case "lexer literals" `Quick test_lexer_literals;
+    Alcotest.test_case "lexer comments/preprocessor" `Quick test_lexer_comments;
+    Alcotest.test_case "lexer error position" `Quick test_lexer_error_position;
+    Alcotest.test_case "parse Figure 1 jacobi" `Quick test_parse_jacobi;
+    Alcotest.test_case "frontend semantics = builtin" `Quick test_parse_matches_builtin;
+    Alcotest.test_case "multi-statement body" `Quick test_parse_multi_statement;
+    Alcotest.test_case "<= bound" `Quick test_le_bound;
+    Alcotest.test_case "frontend error messages" `Quick test_errors;
+    Alcotest.test_case "error positions" `Quick test_error_position_reported;
+    Alcotest.test_case "3D source" `Quick test_parse_all_benchmark_sources;
+    Alcotest.test_case "triple buffering (%3)" `Quick test_fold3;
+    QCheck_alcotest.to_alcotest prop_roundtrip_random_stencil;
+  ]

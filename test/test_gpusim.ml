@@ -1,0 +1,198 @@
+open Hextile_gpusim
+open Hextile_ir
+
+let mk_sim () = Sim.create Device.gtx470
+
+let some_addrs l = Array.of_list (List.map (fun x -> Some x) l)
+
+let test_coalesced_load () =
+  let s = mk_sim () in
+  Sim.launch s ~name:"k" ~blocks:1 ~threads:32 ~shared_bytes:0 ~f:(fun _ ->
+      (* 32 consecutive floats starting on a line boundary: 1 transaction *)
+      Sim.global_load_warp s (some_addrs (List.init 32 (fun i -> 4 * i))));
+  let c = s.total in
+  Alcotest.(check int) "1 transaction" 1 c.gld_transactions;
+  Alcotest.(check int) "32 per-thread loads" 32 c.gld_inst;
+  Alcotest.(check int) "1 request" 1 c.gld_requests;
+  Alcotest.(check int) "1 dram read (cold)" 1 c.dram_read_transactions;
+  Alcotest.(check (float 0.001)) "100%% efficiency" 1.0 (Counters.gld_efficiency c)
+
+let test_unaligned_load () =
+  let s = mk_sim () in
+  Sim.launch s ~name:"k" ~blocks:1 ~threads:32 ~shared_bytes:0 ~f:(fun _ ->
+      (* offset by one float: spans two 128B lines *)
+      Sim.global_load_warp s (some_addrs (List.init 32 (fun i -> 4 * (i + 1)))));
+  Alcotest.(check int) "2 transactions" 2 s.total.gld_transactions;
+  Alcotest.(check (float 0.001)) "50%% efficiency" 0.5
+    (Counters.gld_efficiency s.total)
+
+let test_strided_load () =
+  let s = mk_sim () in
+  Sim.launch s ~name:"k" ~blocks:1 ~threads:32 ~shared_bytes:0 ~f:(fun _ ->
+      (* stride of one line per lane: fully uncoalesced *)
+      Sim.global_load_warp s (some_addrs (List.init 32 (fun i -> 128 * i))));
+  Alcotest.(check int) "32 transactions" 32 s.total.gld_transactions
+
+let test_inactive_lanes () =
+  let s = mk_sim () in
+  Sim.launch s ~name:"k" ~blocks:1 ~threads:32 ~shared_bytes:0 ~f:(fun _ ->
+      let addrs = Array.init 32 (fun i -> if i < 4 then Some (4 * i) else None) in
+      Sim.global_load_warp s addrs;
+      Sim.global_load_warp s (Array.make 32 None));
+  Alcotest.(check int) "only active lanes" 4 s.total.gld_inst;
+  Alcotest.(check int) "empty warp ignored" 1 s.total.gld_requests
+
+let test_l2_hit () =
+  (* disable L1 so the repeated load reaches L2 *)
+  let s = Sim.create { Device.gtx470 with l1_bytes = 0 } in
+  Sim.launch s ~name:"k" ~blocks:1 ~threads:32 ~shared_bytes:0 ~f:(fun _ ->
+      let a = some_addrs (List.init 32 (fun i -> 4 * i)) in
+      Sim.global_load_warp s a;
+      Sim.global_load_warp s a);
+  Alcotest.(check int) "2 l2 reads" 2 s.total.l2_read_transactions;
+  Alcotest.(check int) "1 dram read" 1 s.total.dram_read_transactions
+
+let test_l1_filter () =
+  let s = mk_sim () in
+  Sim.launch s ~name:"k" ~blocks:2 ~threads:32 ~shared_bytes:0 ~f:(fun _ ->
+      let a = some_addrs (List.init 32 (fun i -> 4 * i)) in
+      Sim.global_load_warp s a;
+      Sim.global_load_warp s a);
+  (* per block: first load reaches L2, repeat is absorbed by L1; the L1 is
+     reset between blocks so each block contributes one L2 read *)
+  Alcotest.(check int) "L1 absorbs repeats" 2 s.total.l2_read_transactions;
+  Alcotest.(check int) "gld transactions still counted" 4 s.total.gld_transactions
+
+let test_writeback () =
+  let dev = { Device.gtx470 with l2_bytes = 4096 } in
+  let s = Sim.create dev in
+  Sim.launch s ~name:"k" ~blocks:1 ~threads:32 ~shared_bytes:0 ~f:(fun _ ->
+      (* dirty one line, then stream enough lines through the tiny L2 to
+         force its eviction *)
+      Sim.global_store_warp s (some_addrs [ 0 ]);
+      for i = 1 to 64 do
+        Sim.global_load_warp s (some_addrs [ 128 * i ])
+      done);
+  Alcotest.(check int) "dirty eviction counted" 1 s.total.dram_write_transactions
+
+let test_bank_conflicts () =
+  let s = mk_sim () in
+  Sim.launch s ~name:"k" ~blocks:1 ~threads:32 ~shared_bytes:0 ~f:(fun _ ->
+      (* stride 1: conflict-free *)
+      Sim.shared_load_warp s (some_addrs (List.init 32 (fun i -> i)));
+      (* stride 32: all lanes in bank 0 -> 32-way conflict *)
+      Sim.shared_load_warp s (some_addrs (List.init 32 (fun i -> 32 * i)));
+      (* broadcast: same word for all lanes -> 1 transaction *)
+      Sim.shared_load_warp s (some_addrs (List.init 32 (fun _ -> 7)));
+      (* stride 2: 2-way conflict *)
+      Sim.shared_load_warp s (some_addrs (List.init 32 (fun i -> 2 * i))));
+  let c = s.total in
+  Alcotest.(check int) "requests" 4 c.shared_load_requests;
+  Alcotest.(check int) "transactions 1+32+1+2" 36 c.shared_load_transactions;
+  Alcotest.(check (float 0.001)) "replay factor" 9.0
+    (Counters.shared_loads_per_request c)
+
+let test_replay_param () =
+  let s = mk_sim () in
+  Sim.launch s ~name:"k" ~blocks:1 ~threads:32 ~shared_bytes:0 ~f:(fun _ ->
+      Sim.shared_load_warp ~replay:2 s (some_addrs (List.init 32 (fun i -> i))));
+  Alcotest.(check int) "replay doubles transactions" 2 s.total.shared_load_transactions
+
+let test_launch_limits () =
+  let s = mk_sim () in
+  Alcotest.(check bool) "too many threads rejected" true
+    (match
+       Sim.launch s ~name:"k" ~blocks:1 ~threads:2048 ~shared_bytes:0 ~f:(fun _ -> ())
+     with
+    | exception Invalid_argument _ -> true
+    | () -> false);
+  Alcotest.(check bool) "too much shared memory rejected" true
+    (match
+       Sim.launch s ~name:"k" ~blocks:1 ~threads:32 ~shared_bytes:(1 lsl 20)
+         ~f:(fun _ -> ())
+     with
+    | exception Invalid_argument _ -> true
+    | () -> false)
+
+let test_block_scramble () =
+  let s = mk_sim () in
+  let order = ref [] in
+  Sim.launch s ~name:"k" ~blocks:7 ~threads:32 ~shared_bytes:0 ~f:(fun b ->
+      order := b :: !order);
+  let seen = List.sort_uniq compare !order in
+  Alcotest.(check (list int)) "all blocks run once" [ 0; 1; 2; 3; 4; 5; 6 ] seen;
+  Alcotest.(check bool) "order scrambled" true (List.rev !order <> [ 0; 1; 2; 3; 4; 5; 6 ])
+
+let test_launch_records () =
+  let s = mk_sim () in
+  Sim.launch s ~name:"a" ~blocks:2 ~threads:64 ~shared_bytes:0 ~f:(fun _ ->
+      Sim.flops_warp s ~active:32 ~per_lane:10);
+  Sim.launch s ~name:"b" ~blocks:0 ~threads:64 ~shared_bytes:0 ~f:(fun _ ->
+      Alcotest.fail "0-block launch must not run");
+  Alcotest.(check int) "one kernel recorded" 1 (List.length s.launches);
+  Alcotest.(check int) "flops counted" 640 s.total.flops;
+  Alcotest.(check bool) "time positive" true (Sim.kernel_time s > 0.0)
+
+let test_timing_monotone () =
+  (* more DRAM traffic -> more time *)
+  let t n =
+    let dev = { Device.gtx470 with l2_bytes = 4096 } in
+    let s = Sim.create dev in
+    Sim.launch s ~name:"k" ~blocks:64 ~threads:32 ~shared_bytes:0 ~f:(fun b ->
+        if b = 0 then
+          for i = 0 to n - 1 do
+            Sim.global_load_warp s (some_addrs [ 1000000 + (128 * i) ])
+          done);
+    Sim.kernel_time s
+  in
+  Alcotest.(check bool) "t(1000) > t(10)" true (t 1000 > t 10)
+
+let test_addrmap () =
+  let prog = Hextile_stencils.Suite.heat1d in
+  let env x = List.assoc x [ ("N", 30); ("T", 10) ] in
+  let grids = Grid.alloc prog env in
+  let g = Grid.find grids "A" in
+  let am = Addrmap.create () in
+  let a0 = Addrmap.addr am g 0 in
+  Alcotest.(check int) "256-aligned base" 0 (a0 mod 256);
+  Alcotest.(check int) "stride 4" 4 (Addrmap.addr am g 1 - a0);
+  let am2 = Addrmap.create () in
+  Addrmap.register am2 g ~offset_floats:3;
+  Alcotest.(check int) "offset applied" 12 (Addrmap.base am2 g mod 256)
+
+let test_device_lookup () =
+  Alcotest.(check string) "gtx470" "gtx470" (Device.by_name "gtx470").name;
+  Alcotest.(check string) "nvs5200m alias" "nvs5200" (Device.by_name "nvs5200m").name;
+  Alcotest.check_raises "unknown device" Not_found (fun () ->
+      ignore (Device.by_name "h100"));
+  Alcotest.(check bool) "peak gflops plausible" true
+    (Device.peak_gflops Device.gtx470 > 100.0)
+
+let test_counters_diff () =
+  let a = Counters.create () in
+  a.gld_inst <- 10;
+  let b = Counters.copy a in
+  b.gld_inst <- 25;
+  Alcotest.(check int) "diff" 15 (Counters.diff b a).gld_inst;
+  Counters.add a b;
+  Alcotest.(check int) "add" 35 a.gld_inst
+
+let suite =
+  [
+    Alcotest.test_case "coalesced warp load" `Quick test_coalesced_load;
+    Alcotest.test_case "unaligned warp load" `Quick test_unaligned_load;
+    Alcotest.test_case "strided warp load" `Quick test_strided_load;
+    Alcotest.test_case "inactive lanes" `Quick test_inactive_lanes;
+    Alcotest.test_case "L2 hits" `Quick test_l2_hit;
+    Alcotest.test_case "L1 filtering" `Quick test_l1_filter;
+    Alcotest.test_case "dirty writeback" `Quick test_writeback;
+    Alcotest.test_case "shared bank conflicts" `Quick test_bank_conflicts;
+    Alcotest.test_case "replay parameter" `Quick test_replay_param;
+    Alcotest.test_case "launch limits" `Quick test_launch_limits;
+    Alcotest.test_case "block scrambling" `Quick test_block_scramble;
+    Alcotest.test_case "launch records" `Quick test_launch_records;
+    Alcotest.test_case "timing monotone in traffic" `Quick test_timing_monotone;
+    Alcotest.test_case "address map" `Quick test_addrmap;
+    Alcotest.test_case "device lookup" `Quick test_device_lookup;
+    Alcotest.test_case "counters add/diff" `Quick test_counters_diff;
+  ]

@@ -1,0 +1,206 @@
+open Hextile_ir
+open Hextile_stencils
+
+let env_of l p = List.assoc p l
+let test_env prog = env_of (Suite.test_params prog)
+
+let test_affp () =
+  let e = Affp.(add_const (sub (scale 2 (param "N")) (param "T")) 3) in
+  Alcotest.(check int) "eval 2N - T + 3" 40 (Affp.eval e (env_of [ ("N", 20); ("T", 3) ]));
+  Alcotest.(check string) "pp" "2*N - T + 3" (Affp.to_string e);
+  Alcotest.(check bool) "equal" true (Affp.equal e e);
+  Alcotest.(check (option int)) "is_const" (Some 5) (Affp.is_const (Affp.const 5));
+  Alcotest.(check (option int)) "is_const param" None (Affp.is_const (Affp.param "N"));
+  Alcotest.(check (list string)) "params" [ "N"; "T" ] (Affp.params e);
+  (* x - x cancels *)
+  let z = Affp.(sub (param "N") (param "N")) in
+  Alcotest.(check (option int)) "cancellation" (Some 0) (Affp.is_const z)
+
+let test_validate_all () =
+  List.iter
+    (fun (p : Stencil.t) ->
+      match Stencil.validate p with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "%s invalid: %s" p.name m)
+    Suite.all
+
+let test_validate_rejects () =
+  let bad =
+    {
+      Suite.heat1d with
+      stmts =
+        List.map
+          (fun (s : Stencil.stmt) ->
+            { s with write = { s.write with array = "nonexistent" } })
+          Suite.heat1d.stmts;
+    }
+  in
+  (match Stencil.validate bad with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "expected unknown-array error");
+  let empty = { Suite.heat1d with stmts = [] } in
+  match Stencil.validate empty with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "expected no-statements error"
+
+(* Table 3 row check: loads and flops per statement. *)
+let test_table3_characteristics () =
+  let expect =
+    [
+      ("laplacian2d", [ (5, 6) ]);
+      ("heat2d", [ (9, 9) ]);
+      ("gradient2d", [ (5, 15) ]);
+      ("fdtd2d", [ (3, 3); (3, 3); (5, 5) ]);
+      ("laplacian3d", [ (7, 8) ]);
+      ("heat3d", [ (27, 27) ]);
+      ("gradient3d", [ (7, 20) ]);
+    ]
+  in
+  List.iter
+    (fun (name, rows) ->
+      let c = Analysis.characterize (Suite.find name) in
+      let got = List.map (fun (r : Analysis.stmt_chars) -> (r.loads, r.flops)) c.per_stmt in
+      Alcotest.(check (list (pair int int))) name rows got)
+    expect
+
+let test_jacobi_chars () =
+  let c = Analysis.characterize Suite.jacobi2d in
+  Alcotest.(check (list (pair int int)))
+    "jacobi2d 5/5"
+    [ (5, 5) ]
+    (List.map (fun (r : Analysis.stmt_chars) -> (r.loads, r.flops)) c.per_stmt)
+
+let test_data_size_strings () =
+  Alcotest.(check string) "2d" "N^2" (Analysis.data_size_string Suite.heat2d);
+  Alcotest.(check string) "3d" "N^3" (Analysis.data_size_string Suite.heat3d)
+
+let test_grid_alloc () =
+  let prog = Suite.heat1d in
+  let env = test_env prog in
+  let tbl = Grid.alloc prog env in
+  let g = Grid.find tbl "A" in
+  Alcotest.(check (array int)) "folded dims" [| 2; 30 |] g.dims;
+  Alcotest.(check int) "size" 60 (Array.length g.data);
+  (* determinism *)
+  let tbl2 = Grid.alloc prog env in
+  Alcotest.(check bool) "deterministic init" true (Grid.equal g (Grid.find tbl2 "A"));
+  (* values in [0,1) *)
+  Array.iter
+    (fun v -> Alcotest.(check bool) "init in range" true (v >= 0.0 && v < 1.0))
+    g.data
+
+let test_grid_bounds () =
+  let tbl = Grid.alloc Suite.heat1d (test_env Suite.heat1d) in
+  let g = Grid.find tbl "A" in
+  Alcotest.(check bool) "oob raises" true
+    (match Grid.get g [| 0; 30 |] with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "wrong arity raises" true
+    (match Grid.get g [| 0 |] with exception Invalid_argument _ -> true | _ -> false)
+
+let test_grid_slot () =
+  let tbl = Grid.alloc Suite.contrived (test_env Suite.contrived) in
+  let g = Grid.find tbl "A" in
+  Alcotest.(check int) "slot fold 3" 2 (Grid.slot g 5);
+  Alcotest.(check int) "slot negative tau" 2 (Grid.slot g (-1))
+
+(* Reference interpreter sanity: a constant-preserving stencil keeps a
+   constant field constant (heat1d weights sum to 0.99 — use jacobi which
+   sums to 1.0). *)
+let test_interp_fixpoint () =
+  let prog = Suite.jacobi2d in
+  let env = test_env prog in
+  let tbl = Grid.alloc prog env in
+  let g = Grid.find tbl "A" in
+  Array.fill g.data 0 (Array.length g.data) 1.0;
+  let steps = Affp.eval prog.steps env in
+  for t = 0 to steps - 1 do
+    List.iter
+      (fun (s : Stencil.stmt) ->
+        let lo = Array.map (fun e -> Affp.eval e env) s.lo in
+        let hi = Array.map (fun e -> Affp.eval e env) s.hi in
+        let n = Affp.eval (Affp.param "N") env in
+        ignore n;
+        let rec iter d point =
+          if d = Array.length lo then Interp.exec_instance tbl s ~t ~point
+          else
+            for x = lo.(d) to hi.(d) do
+              point.(d) <- x;
+              iter (d + 1) point
+            done
+        in
+        iter 0 (Array.make (Array.length lo) 0))
+      prog.stmts
+  done;
+  Array.iter
+    (fun v ->
+      Alcotest.(check bool) "close to 1.0" true (Float.abs (v -. 1.0) < 1e-4))
+    g.data
+
+let test_interp_runs () =
+  List.iter
+    (fun (p : Stencil.t) ->
+      let env = test_env p in
+      let tbl = Interp.run p env in
+      Hashtbl.iter
+        (fun name g ->
+          let c = Grid.checksum g in
+          if Float.is_nan c then Alcotest.failf "%s/%s produced NaN" p.name name)
+        tbl)
+    Suite.all
+
+let test_stencil_updates () =
+  (* heat1d: T=10 steps, domain 1..28 → 28 points *)
+  Alcotest.(check int) "heat1d updates" 280
+    (Interp.stencil_updates Suite.heat1d (test_env Suite.heat1d));
+  (* fdtd2d: 3 stmts × (N-2)^2 × T = 3 * 18^2 * 9 *)
+  Alcotest.(check int) "fdtd2d updates" (3 * 18 * 18 * 9)
+    (Interp.stencil_updates Suite.fdtd2d (test_env Suite.fdtd2d))
+
+let test_footprint () =
+  (* heat2d, N=20: folded A = 2*20*20 *)
+  Alcotest.(check int) "heat2d footprint" 800
+    (Analysis.footprint_floats Suite.heat2d (test_env Suite.heat2d));
+  (* fdtd2d: 3 arrays of N^2 *)
+  Alcotest.(check int) "fdtd2d footprint" 1200
+    (Analysis.footprint_floats Suite.fdtd2d (test_env Suite.fdtd2d))
+
+let test_affp_pp_negative () =
+  Alcotest.(check string) "leading negative" "-N + 3"
+    (Affp.to_string (Affp.add_const (Affp.scale (-1) (Affp.param "N")) 3));
+  Alcotest.(check string) "mixed" "2*M - N"
+    (Affp.to_string
+       (Affp.sub (Affp.scale 2 (Affp.param "M")) (Affp.param "N")));
+  Alcotest.(check string) "const only" "-7" (Affp.to_string (Affp.const (-7)))
+
+let test_stencil_pp () =
+  let s = Fmt.str "%a" Stencil.pp Suite.contrived in
+  List.iter
+    (fun sub ->
+      Alcotest.(check bool) sub true
+        (let n = String.length sub in
+         let rec go i =
+           i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+         in
+         go 0))
+    [ "stencil contrived"; "fold 3"; "A⟨t+2⟩" ]
+
+let suite =
+  [
+    Alcotest.test_case "affp" `Quick test_affp;
+    Alcotest.test_case "all benchmarks validate" `Quick test_validate_all;
+    Alcotest.test_case "validate rejects bad programs" `Quick test_validate_rejects;
+    Alcotest.test_case "Table 3 loads/flops" `Quick test_table3_characteristics;
+    Alcotest.test_case "jacobi 5/5" `Quick test_jacobi_chars;
+    Alcotest.test_case "data size strings" `Quick test_data_size_strings;
+    Alcotest.test_case "grid alloc" `Quick test_grid_alloc;
+    Alcotest.test_case "grid bounds checks" `Quick test_grid_bounds;
+    Alcotest.test_case "grid fold slots" `Quick test_grid_slot;
+    Alcotest.test_case "interp fixpoint" `Quick test_interp_fixpoint;
+    Alcotest.test_case "interp runs all benchmarks" `Quick test_interp_runs;
+    Alcotest.test_case "stencil_updates" `Quick test_stencil_updates;
+    Alcotest.test_case "footprint" `Quick test_footprint;
+    Alcotest.test_case "affp printing (negatives)" `Quick test_affp_pp_negative;
+    Alcotest.test_case "stencil printing" `Quick test_stencil_pp;
+  ]

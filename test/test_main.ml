@@ -1,0 +1,14 @@
+let () =
+  Alcotest.run "hextile"
+    [
+      ("util", Test_util.suite);
+      ("poly", Test_poly.suite);
+      ("ir", Test_ir.suite);
+      ("deps", Test_deps.suite);
+      ("tiling", Test_tiling.suite);
+      ("frontend", Test_frontend.suite);
+      ("gpusim", Test_gpusim.suite);
+      ("schemes", Test_schemes.suite);
+      ("codegen", Test_codegen.suite);
+      ("experiments", Test_experiments.suite);
+    ]

@@ -1,0 +1,412 @@
+open Hextile_tiling
+open Hextile_deps
+open Hextile_stencils
+open Hextile_util
+
+let cone d0 d1 = { Cone.delta0 = d0; delta1 = d1 }
+let unit_cone = cone Rat.one Rat.one
+
+let arb_cone =
+  let slope =
+    QCheck.map (fun (n, d) -> Rat.make n d) QCheck.(pair (int_range 0 5) (int_range 1 3))
+  in
+  QCheck.map (fun (a, b) -> cone a b) (QCheck.pair slope slope)
+
+let arb_hex =
+  QCheck.map
+    (fun (c, h, extra) ->
+      let w0 = Hexagon.min_w0 ~h c + extra in
+      Hexagon.make ~h ~w0 c)
+    QCheck.(triple arb_cone (int_range 0 5) (int_range 0 3))
+
+let test_min_w0_paper_example () =
+  (* δ0=1, δ1=2, h=2 (the Section 3.3.2 example): w0 >= 1. *)
+  Alcotest.(check int) "min_w0" 1 (Hexagon.min_w0 ~h:2 (cone Rat.one (Rat.of_int 2)));
+  (* integral slopes have zero fractional part: δ + {δh} - 1 = δ - 1 *)
+  Alcotest.(check int) "unit cone" 0 (Hexagon.min_w0 ~h:3 unit_cone);
+  (* δ0 = 3/2, h = 1: {3/2} = 1/2 → 3/2 + 1/2 - 1 = 1 *)
+  Alcotest.(check int) "fractional" 1
+    (Hexagon.min_w0 ~h:1 (cone (Rat.make 3 2) Rat.zero))
+
+let test_figure4_shape () =
+  (* h=2, w0=3, δ=1: rows of widths 4,6,8,8,6,4 (36 points). *)
+  let hex = Hexagon.make ~h:2 ~w0:3 unit_cone in
+  let widths =
+    List.map
+      (fun a ->
+        match Hexagon.row_range hex ~a with
+        | Some (lo, hi) -> hi - lo + 1
+        | None -> 0)
+      [ 0; 1; 2; 3; 4; 5 ]
+  in
+  Alcotest.(check (list int)) "row widths" [ 4; 6; 8; 8; 6; 4 ] widths;
+  Alcotest.(check int) "count" 36 (Hexagon.count hex);
+  Alcotest.(check int) "expected" 36 (Hexagon.expected_count hex)
+
+let test_make_validation () =
+  Alcotest.(check bool) "negative h rejected" true
+    (match Hexagon.make ~h:(-1) ~w0:3 unit_cone with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "w0 below minimum rejected" true
+    (match Hexagon.make ~h:2 ~w0:0 (cone Rat.one (Rat.of_int 2)) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let prop_count_identical =
+  QCheck.Test.make ~name:"all full tiles have (h+1)*width points" ~count:100 arb_hex
+    (fun hex -> Hexagon.count hex = Hexagon.expected_count hex)
+
+let prop_partition =
+  QCheck.Test.make ~name:"phases partition the (u,s0) plane" ~count:60 arb_hex
+    (fun hex ->
+      let hs = Hex_schedule.make hex in
+      let ok = ref true in
+      for u = -12 to 12 do
+        for s0 = -15 to 15 do
+          match Hex_schedule.phase_of hs ~u ~s0 with
+          | _ -> ()
+          | exception Invalid_argument _ -> ok := false
+        done
+      done;
+      !ok)
+
+let prop_hex_legality =
+  QCheck.Test.make ~name:"hex schedule honors every cone dependence" ~count:40
+    arb_hex (fun hex ->
+      let hs = Hex_schedule.make hex in
+      let c = hex.cone in
+      let deps = ref [] in
+      for du = 1 to 3 do
+        for ds = -12 to 12 do
+          if
+            Rat.compare (Rat.of_int ds) (Rat.mul_int c.delta0 du) <= 0
+            && Rat.compare (Rat.of_int ds) (Rat.neg (Rat.mul_int c.delta1 du)) >= 0
+          then deps := (du, ds) :: !deps
+        done
+      done;
+      let ok = ref true in
+      for u = -10 to 10 do
+        for s0 = -12 to 12 do
+          List.iter
+            (fun (du, ds) ->
+              let v1 = Hex_schedule.sched_vector hs ~u ~s0 in
+              let v2 = Hex_schedule.sched_vector hs ~u:(u + du) ~s0:(s0 + ds) in
+              let tp1 = (v1.(0), v1.(1)) and tp2 = (v2.(0), v2.(1)) in
+              if tp1 < tp2 then ()
+              else if tp1 = tp2 && v1.(2) = v2.(2) && v1.(3) < v2.(3) then ()
+              else ok := false)
+            !deps
+        done
+      done;
+      !ok)
+
+let prop_tile_points_roundtrip =
+  QCheck.Test.make ~name:"tile_points ↔ tile_of roundtrip" ~count:50
+    (QCheck.pair arb_hex (QCheck.pair (QCheck.int_range (-3) 3) (QCheck.int_range (-3) 3)))
+    (fun (hex, (tt, s_tile)) ->
+      let hs = Hex_schedule.make hex in
+      List.for_all
+        (fun phase ->
+          let pts = Hex_schedule.tile_points hs ~phase ~tt ~s_tile in
+          List.length pts = Hexagon.expected_count hex
+          && List.for_all
+               (fun (u, s0) -> Hex_schedule.tile_of hs ~u ~s0 = (tt, phase, s_tile))
+               pts)
+        [ 0; 1 ])
+
+let prop_qmap_matches =
+  QCheck.Test.make ~name:"qmap agrees with direct computation" ~count:50 arb_hex
+    (fun hex ->
+      let hs = Hex_schedule.make hex in
+      let ok = ref true in
+      List.iter
+        (fun phase ->
+          let m = Hex_schedule.qmap hs ~phase in
+          for u = -8 to 8 do
+            for s0 = -8 to 8 do
+              let v = Hextile_poly.Qmap.apply m [| u; s0 |] in
+              let tt = Hex_schedule.time_tile hs ~phase ~u in
+              let st = Hex_schedule.space_tile hs ~phase ~u ~s0 in
+              let a, b = Hex_schedule.local hs ~phase ~u ~s0 in
+              if v <> [| tt; st; a; b |] then ok := false
+            done
+          done)
+        [ 0; 1 ];
+      !ok)
+
+(* classical-tiling legality: a dependence with Δs >= -δ1·Δu never points
+   to an earlier classical tile when both endpoints advance in time *)
+let prop_classical_monotone =
+  QCheck.Test.make ~name:"classical skew keeps dependences forward" ~count:200
+    QCheck.(
+      quad
+        (pair (int_range 0 3) (int_range 1 4)) (* δ1 = p/q *)
+        (int_range 1 8) (* width *)
+        (pair (int_range 0 6) (int_range (-20) 20)) (* u, si *)
+        (int_range 1 3) (* Δu *))
+    (fun ((p, q), w, (u, si), du) ->
+      let delta1 = Rat.make p q in
+      let c = Classical.make ~delta1 ~w in
+      (* most negative admissible spatial distance: Δs = -⌈δ1·Δu⌉ ... 0 *)
+      let ds_min = -Rat.floor (Rat.mul_int delta1 du) in
+      let ok = ref true in
+      for ds = ds_min to 2 do
+        let t1 = Classical.tile c ~u ~si in
+        let t2 = Classical.tile c ~u:(u + du) ~si:(si + ds) in
+        if t2 < t1 then ok := false
+      done;
+      !ok)
+
+let test_classical_roundtrip () =
+  let c = Classical.make ~delta1:(Rat.make 1 2) ~w:5 in
+  for u = 0 to 7 do
+    for si = -20 to 20 do
+      let tile = Classical.tile c ~u ~si and intra = Classical.intra c ~u ~si in
+      Alcotest.(check int) "si_of inverse" si (Classical.si_of c ~u ~tile ~intra);
+      Alcotest.(check bool) "intra in range" true (intra >= 0 && intra < 5)
+    done
+  done
+
+let test_classical_validation () =
+  Alcotest.(check bool) "w=0 rejected" true
+    (match Classical.make ~delta1:Rat.one ~w:0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "negative δ1 rejected" true
+    (match Classical.make ~delta1:Rat.minus_one ~w:3 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_classical_tile_range () =
+  let c = Classical.make ~delta1:Rat.one ~w:4 in
+  let lo, hi = Classical.tile_range c ~u_max:3 ~lo:0 ~hi:10 in
+  (* v ranges over 0 .. 10+3 → tiles 0..3 *)
+  Alcotest.(check (pair int int)) "range" (0, 3) (lo, hi)
+
+let hybrid_of prog h wspec =
+  let dims = Hextile_ir.Stencil.spatial_dims prog in
+  let w = Array.make dims 3 in
+  Array.blit (Array.of_list wspec) 0 w 0 (List.length wspec);
+  Hybrid.make prog ~h ~w
+
+let test_hybrid_legality_all () =
+  List.iter
+    (fun (prog : Hextile_ir.Stencil.t) ->
+      let k = List.length prog.stmts in
+      let h = (2 * k) - 1 in
+      let deps = Dep.analyze prog in
+      let c = Cone.of_deps deps ~dim:0 in
+      let w0 = max 2 (Hexagon.min_w0 ~h c) in
+      let t = hybrid_of prog h [ w0 ] in
+      let env p = List.assoc p (Suite.test_params prog) in
+      match Hybrid.check_legality t env with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "%s: %s" prog.name m)
+    Suite.all
+
+let test_hybrid_h_multiple () =
+  (* fdtd2d has k=3 statements: h=2 gives h+1=3 ✓, h=3 gives 4 ✗. *)
+  ignore (hybrid_of Suite.fdtd2d 2 [ 2 ]);
+  Alcotest.(check bool) "h+1 must be multiple of k" true
+    (match hybrid_of Suite.fdtd2d 3 [ 2 ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_hybrid_wrong_width_count () =
+  Alcotest.(check bool) "bad width count" true
+    (match Hybrid.make Suite.heat2d ~h:1 ~w:[| 2 |] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_hybrid_coords_roundtrip () =
+  let t = hybrid_of Suite.heat2d 3 [ 3; 4 ] in
+  for u = -5 to 15 do
+    for s0 = -6 to 10 do
+      for s1 = -6 to 10 do
+        let s = [| s0; s1 |] in
+        let c = Hybrid.coords t ~u ~s in
+        match Hybrid.point_of_coords t c with
+        | None -> Alcotest.failf "coords of (%d,%d,%d) not a tile point" u s0 s1
+        | Some (u', s') ->
+            Alcotest.(check int) "u roundtrip" u u';
+            Alcotest.(check (array int)) "s roundtrip" s s'
+      done
+    done
+  done
+
+let test_hybrid_vector_order () =
+  let t = hybrid_of Suite.heat2d 1 [ 2; 3 ] in
+  let c1 = Hybrid.coords t ~u:0 ~s:[| 0; 0 |] in
+  let c2 = Hybrid.coords t ~u:1 ~s:[| 0; 0 |] in
+  Alcotest.(check bool) "dep (1,0,0) precedes" true (Hybrid.precedes t c1 c2);
+  Alcotest.(check bool) "reverse does not precede" false (Hybrid.precedes t c2 c1);
+  let v = Hybrid.vector t c1 in
+  Alcotest.(check int) "vector length 2 + 2*(dims) + 1" 7 (Array.length v)
+
+let test_instance_u () =
+  let t = hybrid_of Suite.fdtd2d 2 [ 2 ] in
+  Alcotest.(check int) "u of stmt 2 at t=4" 14 (Hybrid.instance_u t ~stmt:2 ~tstep:4);
+  Alcotest.(check int) "stmt_of_u" 2 (Hybrid.stmt_of_u t 14);
+  Alcotest.(check int) "tstep_of_u" 4 (Hybrid.tstep_of_u t 14);
+  let env p = List.assoc p (Suite.test_params Suite.fdtd2d) in
+  Alcotest.(check int) "u bound = k*steps" 27 (Hybrid.domain_u_bound t env)
+
+let test_tile_stats_formula () =
+  (* Table 4 sizes: h=2, w=(7,10,32) for heat3d. *)
+  let t = Hybrid.make Suite.heat3d ~h:2 ~w:[| 7; 10; 32 |] in
+  let s = Tile_size.tile_stats t in
+  Alcotest.(check int) "iterations = paper formula"
+    (Tile_size.iterations_formula_3d ~h:2 ~w0:7 ~w1:10 ~w2:32)
+    s.iterations;
+  Alcotest.(check int) "iterations = hexcount * w1 * w2"
+    (Hexagon.expected_count t.hex * 10 * 32)
+    s.iterations;
+  Alcotest.(check bool) "loads < iterations (time reuse!)" true (s.loads < s.iterations);
+  Alcotest.(check bool) "ratio consistent" true
+    (Float.abs (s.ratio -. (float_of_int s.loads /. float_of_int s.iterations)) < 1e-9)
+
+let test_tile_stats_2d () =
+  let t = Hybrid.make Suite.jacobi2d ~h:3 ~w:[| 4; 8 |] in
+  let s = Tile_size.tile_stats t in
+  Alcotest.(check int) "iterations" (Hexagon.expected_count t.hex * 8) s.iterations;
+  Alcotest.(check bool) "stores <= iterations" true (s.stores <= s.iterations);
+  Alcotest.(check bool) "footprint >= loads" true (s.footprint_box >= s.loads)
+
+let test_select () =
+  match
+    Tile_size.select Suite.heat2d ~h_candidates:[ 1; 3 ] ~w0_candidates:[ 2; 4 ]
+      ~wi_candidates:[ [ 8; 16 ] ] ~shared_mem_floats:4096 ()
+  with
+  | None -> Alcotest.fail "expected a feasible choice"
+  | Some c ->
+      Alcotest.(check bool) "budget respected" true (c.stats.footprint_box <= 4096);
+      (* a larger h should win on ratio within budget *)
+      Alcotest.(check bool) "prefers time reuse" true (c.h >= 3 || c.stats.ratio < 1.0)
+
+let test_select_alignment () =
+  match
+    Tile_size.select Suite.heat2d ~h_candidates:[ 1 ] ~w0_candidates:[ 2 ]
+      ~wi_candidates:[ [ 7; 8; 9 ] ] ~shared_mem_floats:100000 ~require_multiple:8 ()
+  with
+  | None -> Alcotest.fail "expected a choice"
+  | Some c -> Alcotest.(check int) "innermost aligned" 8 c.w.(1)
+
+let test_select_infeasible () =
+  Alcotest.(check bool) "tiny budget -> None" true
+    (Tile_size.select Suite.heat2d ~h_candidates:[ 1 ] ~w0_candidates:[ 2 ]
+       ~wi_candidates:[ [ 8 ] ] ~shared_mem_floats:1 ()
+    = None)
+
+let test_render () =
+  let hex = Hexagon.make ~h:2 ~w0:3 unit_cone in
+  let s = Render.tile hex in
+  Alcotest.(check bool) "render nonempty" true (String.length s > 0);
+  let hs = Hex_schedule.make hex in
+  let p = Render.pattern hs ~u_range:(0, 5) ~s0_range:(0, 20) in
+  Alcotest.(check bool) "pattern mentions phases" true
+    (String.length p > 0 && String.contains p 'A' && String.contains p 'a')
+
+(* random tile sizes on a real stencil: legality must hold for any
+   admissible (h, w) *)
+let prop_hybrid_legality_random_sizes =
+  QCheck.Test.make ~name:"hybrid legal for random (h,w) on jacobi2d" ~count:8
+    QCheck.(triple (int_range 0 4) (int_range 0 3) (int_range 1 6))
+    (fun (h, w0extra, w1) ->
+      let prog = Suite.jacobi2d in
+      let deps = Dep.analyze prog in
+      let c = Cone.of_deps deps ~dim:0 in
+      let w0 = Hexagon.min_w0 ~h c + w0extra in
+      let t = Hybrid.make prog ~h ~w:[| max 1 w0; w1 |] in
+      let env p = List.assoc p [ ("N", 14); ("T", 6) ] in
+      Hybrid.check_legality t env = Ok ())
+
+let prop_tile_poly_matches_points =
+  QCheck.Test.make ~name:"tile polyhedron = tile points" ~count:30
+    (QCheck.pair arb_hex (QCheck.pair (QCheck.int_range (-2) 2) (QCheck.int_range (-2) 2)))
+    (fun (hex, (tt, s_tile)) ->
+      let hs = Hex_schedule.make hex in
+      List.for_all
+        (fun phase ->
+          let poly = Hex_schedule.tile_poly hs ~phase ~tt ~s_tile in
+          let from_poly =
+            List.map (fun p -> (p.(0), p.(1))) (Hextile_poly.Polyhedron.enumerate poly)
+          in
+          let pts = List.sort compare (Hex_schedule.tile_points hs ~phase ~tt ~s_tile) in
+          List.sort compare from_poly = pts)
+        [ 0; 1 ])
+
+let test_diamond_counts () =
+  (* even tau: all diamonds identical; odd tau > 1: counts vary — the
+     divergence hazard of Section 5 *)
+  Alcotest.(check (list int)) "tau=4 identical" [ 8 ]
+    (Diamond.count_spectrum (Diamond.make ~tau:4));
+  Alcotest.(check (list int)) "tau=2 identical" [ 2 ]
+    (Diamond.count_spectrum (Diamond.make ~tau:2));
+  let odd = Diamond.count_spectrum (Diamond.make ~tau:3) in
+  Alcotest.(check bool) "tau=3 varies" true (List.length odd > 1);
+  (* hexagonal tiles never vary (prop_count_identical); diamonds with the
+     same slopes do — print-check the exact spectrum *)
+  Alcotest.(check (list int)) "tau=3 spectrum {4,5}" [ 4; 5 ] odd
+
+let test_diamond_tile_points () =
+  let d = Diamond.make ~tau:3 in
+  List.iter
+    (fun (a, b) ->
+      let pts = Diamond.tile_points d ~a ~b in
+      Alcotest.(check int) "count agrees" (Diamond.count d ~a ~b) (List.length pts);
+      List.iter
+        (fun (t', s) ->
+          Alcotest.(check (pair int int)) "tile_of roundtrip" (a, b)
+            (Diamond.tile_of d ~t' ~s))
+        pts)
+    [ (0, 0); (1, -1); (2, 3) ]
+
+let test_diamond_wavefront () =
+  Alcotest.(check bool) "jacobi deps legal" true
+    (Diamond.wavefront_legal (Diamond.make ~tau:4)
+       ~deltas:[ (1, 1); (1, -1); (1, 0); (2, 0) ]);
+  Alcotest.(check bool) "too-fast dep illegal" false
+    (Diamond.wavefront_legal (Diamond.make ~tau:4) ~deltas:[ (1, 2) ])
+
+let prop_diamond_partition =
+  QCheck.Test.make ~name:"diamonds partition the plane" ~count:50
+    QCheck.(pair (int_range 1 6) (pair (int_range (-20) 20) (int_range (-20) 20)))
+    (fun (tau, (t', s)) ->
+      let d = Diamond.make ~tau in
+      let a, b = Diamond.tile_of d ~t' ~s in
+      List.mem (t', s) (Diamond.tile_points d ~a ~b))
+
+let suite =
+  [
+    Alcotest.test_case "min_w0 (condition (1))" `Quick test_min_w0_paper_example;
+    Alcotest.test_case "Figure 4 shape" `Quick test_figure4_shape;
+    Alcotest.test_case "hexagon validation" `Quick test_make_validation;
+    QCheck_alcotest.to_alcotest prop_count_identical;
+    QCheck_alcotest.to_alcotest prop_partition;
+    QCheck_alcotest.to_alcotest prop_hex_legality;
+    QCheck_alcotest.to_alcotest prop_tile_points_roundtrip;
+    QCheck_alcotest.to_alcotest prop_qmap_matches;
+    Alcotest.test_case "classical roundtrip" `Quick test_classical_roundtrip;
+    QCheck_alcotest.to_alcotest prop_classical_monotone;
+    Alcotest.test_case "classical validation" `Quick test_classical_validation;
+    Alcotest.test_case "classical tile_range" `Quick test_classical_tile_range;
+    Alcotest.test_case "hybrid legality (all benchmarks)" `Slow test_hybrid_legality_all;
+    Alcotest.test_case "hybrid h+1 multiple of k" `Quick test_hybrid_h_multiple;
+    Alcotest.test_case "hybrid width count" `Quick test_hybrid_wrong_width_count;
+    Alcotest.test_case "hybrid coords roundtrip" `Quick test_hybrid_coords_roundtrip;
+    Alcotest.test_case "hybrid vector order" `Quick test_hybrid_vector_order;
+    Alcotest.test_case "instance_u helpers" `Quick test_instance_u;
+    Alcotest.test_case "tile stats = Sec 3.7 formula" `Quick test_tile_stats_formula;
+    Alcotest.test_case "tile stats 2D" `Quick test_tile_stats_2d;
+    Alcotest.test_case "tile size selection" `Quick test_select;
+    Alcotest.test_case "selection warp alignment" `Quick test_select_alignment;
+    Alcotest.test_case "selection infeasible budget" `Quick test_select_infeasible;
+    Alcotest.test_case "renders" `Quick test_render;
+    QCheck_alcotest.to_alcotest prop_hybrid_legality_random_sizes;
+    Alcotest.test_case "diamond count variability (Sec 5)" `Quick test_diamond_counts;
+    Alcotest.test_case "diamond tile points" `Quick test_diamond_tile_points;
+    Alcotest.test_case "diamond wavefront legality" `Quick test_diamond_wavefront;
+    QCheck_alcotest.to_alcotest prop_diamond_partition;
+    QCheck_alcotest.to_alcotest prop_tile_poly_matches_points;
+  ]

@@ -1,0 +1,106 @@
+open Hextile_util
+
+let check = Alcotest.(check int)
+
+let test_gcd () =
+  check "gcd 12 18" 6 (Intutil.gcd 12 18);
+  check "gcd 0 0" 0 (Intutil.gcd 0 0);
+  check "gcd -12 18" 6 (Intutil.gcd (-12) 18);
+  check "gcd 7 0" 7 (Intutil.gcd 7 0);
+  check "gcd 0 -5" 5 (Intutil.gcd 0 (-5))
+
+let test_lcm () =
+  check "lcm 4 6" 12 (Intutil.lcm 4 6);
+  check "lcm 0 3" 0 (Intutil.lcm 0 3);
+  check "lcm -4 6" 12 (Intutil.lcm (-4) 6)
+
+let test_fdiv_fmod () =
+  check "fdiv 7 2" 3 (Intutil.fdiv 7 2);
+  check "fdiv -7 2" (-4) (Intutil.fdiv (-7) 2);
+  check "fdiv 7 -2" (-4) (Intutil.fdiv 7 (-2));
+  check "fdiv -7 -2" 3 (Intutil.fdiv (-7) (-2));
+  check "fmod -7 2" 1 (Intutil.fmod (-7) 2);
+  check "fmod 7 2" 1 (Intutil.fmod 7 2);
+  check "cdiv 7 2" 4 (Intutil.cdiv 7 2);
+  check "cdiv -7 2" (-3) (Intutil.cdiv (-7) 2)
+
+let test_pow () =
+  check "pow 2 10" 1024 (Intutil.pow 2 10);
+  check "pow 3 0" 1 (Intutil.pow 3 0);
+  check "pow -2 3" (-8) (Intutil.pow (-2) 3)
+
+let test_range () =
+  Alcotest.(check (list int)) "range 1 4" [ 1; 2; 3; 4 ] (Intutil.range 1 4);
+  Alcotest.(check (list int)) "range 3 2" [] (Intutil.range 3 2);
+  check "fold_range sum" 10 (Intutil.fold_range 1 4 ~init:0 ~f:( + ));
+  check "sum" 6 (Intutil.sum [ 1; 2; 3 ])
+
+let prop_fdiv_fmod =
+  QCheck.Test.make ~name:"fdiv/fmod invariant a = b*fdiv + fmod, 0<=fmod<|b|"
+    ~count:1000
+    QCheck.(pair int (int_range 1 100))
+    (fun (a, b) ->
+      let q = Intutil.fdiv a b and r = Intutil.fmod a b in
+      a = (b * q) + r && r >= 0 && r < b)
+
+let rat = Alcotest.testable Rat.pp Rat.equal
+
+let test_rat_basic () =
+  Alcotest.check rat "1/2 + 1/3" (Rat.make 5 6) (Rat.add (Rat.make 1 2) (Rat.make 1 3));
+  Alcotest.check rat "normalize -2/-4" (Rat.make 1 2) (Rat.make (-2) (-4));
+  Alcotest.check rat "normalize 2/-4" (Rat.make (-1) 2) (Rat.make 2 (-4));
+  Alcotest.check rat "mul" (Rat.make 1 3) (Rat.mul (Rat.make 2 3) (Rat.make 1 2));
+  Alcotest.check rat "div" (Rat.make 4 3) (Rat.div (Rat.make 2 3) (Rat.make 1 2));
+  Alcotest.check rat "frac 7/2" (Rat.make 1 2) (Rat.frac (Rat.make 7 2));
+  Alcotest.check rat "frac -7/2" (Rat.make 1 2) (Rat.frac (Rat.make (-7) 2));
+  check "floor 7/2" 3 (Rat.floor (Rat.make 7 2));
+  check "floor -7/2" (-4) (Rat.floor (Rat.make (-7) 2));
+  check "ceil -7/2" (-3) (Rat.ceil (Rat.make (-7) 2));
+  check "sign" (-1) (Rat.sign (Rat.make (-3) 7));
+  Alcotest.(check bool) "is_integer 4/2" true (Rat.is_integer (Rat.make 4 2));
+  Alcotest.(check string) "to_string" "5/6" (Rat.to_string (Rat.make 5 6))
+
+let test_rat_exn () =
+  Alcotest.check_raises "make _ 0" Division_by_zero (fun () -> ignore (Rat.make 1 0));
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (Rat.div Rat.one Rat.zero));
+  Alcotest.check_raises "inv zero" Division_by_zero (fun () -> ignore (Rat.inv Rat.zero))
+
+let arb_rat =
+  QCheck.map
+    (fun (n, d) -> Rat.make n d)
+    QCheck.(pair (int_range (-1000) 1000) (int_range 1 1000))
+
+let prop_rat_add_comm =
+  QCheck.Test.make ~name:"rat add commutative" ~count:500 (QCheck.pair arb_rat arb_rat)
+    (fun (a, b) -> Rat.equal (Rat.add a b) (Rat.add b a))
+
+let prop_rat_mul_inv =
+  QCheck.Test.make ~name:"rat a * 1/a = 1 (a<>0)" ~count:500 arb_rat (fun a ->
+      QCheck.assume (Rat.sign a <> 0);
+      Rat.equal Rat.one (Rat.mul a (Rat.inv a)))
+
+let prop_rat_floor_frac =
+  QCheck.Test.make ~name:"rat x = floor x + frac x" ~count:500 arb_rat (fun a ->
+      Rat.equal a (Rat.add (Rat.of_int (Rat.floor a)) (Rat.frac a)))
+
+let prop_rat_ord =
+  QCheck.Test.make ~name:"rat compare antisymmetric" ~count:500
+    (QCheck.pair arb_rat arb_rat) (fun (a, b) ->
+      Rat.compare a b = -Rat.compare b a)
+
+let suite =
+  [
+    Alcotest.test_case "gcd" `Quick test_gcd;
+    Alcotest.test_case "lcm" `Quick test_lcm;
+    Alcotest.test_case "fdiv/fmod/cdiv" `Quick test_fdiv_fmod;
+    Alcotest.test_case "pow" `Quick test_pow;
+    Alcotest.test_case "range/fold/sum" `Quick test_range;
+    Alcotest.test_case "rat basics" `Quick test_rat_basic;
+    Alcotest.test_case "rat exceptions" `Quick test_rat_exn;
+    QCheck_alcotest.to_alcotest prop_fdiv_fmod;
+    QCheck_alcotest.to_alcotest prop_rat_add_comm;
+    QCheck_alcotest.to_alcotest prop_rat_mul_inv;
+    QCheck_alcotest.to_alcotest prop_rat_floor_frac;
+    QCheck_alcotest.to_alcotest prop_rat_ord;
+  ]
