@@ -1,0 +1,25 @@
+# Convenience wrapper; `make check` is what CI runs.
+
+.PHONY: all build test check fmt clean profile-smoke
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+fmt:
+	dune build @fmt --auto-promote 2>/dev/null || true
+
+# Everything CI enforces: a clean build, the full test suite, and a
+# profile report that parses as JSON.
+check: build test profile-smoke
+
+profile-smoke:
+	dune exec bin/hextile.exe -- profile --builtin jacobi2d -N 64 -T 16 -o _build/prof_smoke.json
+	@python3 -c "import json; json.load(open('_build/prof_smoke.json'))" && echo "profile JSON ok"
+
+clean:
+	dune clean

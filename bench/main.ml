@@ -6,61 +6,68 @@
      dune exec bench/main.exe                 -- everything, quick sizes
      dune exec bench/main.exe -- --only table1 --only fig4
      dune exec bench/main.exe -- --full       -- larger scaled instances
-     dune exec bench/main.exe -- --no-micro   -- skip Bechamel timings *)
+     dune exec bench/main.exe -- --no-micro   -- skip Bechamel timings
+     dune exec bench/main.exe -- --json out.json
+                                              -- also write results as JSON
+
+   With --json every selected experiment contributes a machine-readable
+   entry keyed by its id: structured rows for the performance tables
+   (table1/table2/table45/ablate/micro) and {"text": ...} wrappers for
+   the figure reproductions, so the whole run can be diffed across
+   commits. *)
 
 module Experiments = Hextile_experiments.Experiments
+module Json = Hextile_obs.Json
 open Hextile_gpusim
 open Hextile_stencils
 
 let section title = Fmt.pr "@.===== %s =====@." title
+let text_json s = Json.Obj [ ("text", Json.Str s) ]
 
 let fig1 () =
   section "Figure 1: Jacobi 2D stencil (frontend input)";
   print_string Experiments.figure1_source;
-  match
-    Hextile_frontend.Front.parse_string ~name:"jacobi2d" Experiments.figure1_source
-  with
+  (match
+     Hextile_frontend.Front.parse_string ~name:"jacobi2d" Experiments.figure1_source
+   with
   | Ok p ->
       Fmt.pr "parsed and lowered: %d statement(s), params %a@."
         (List.length p.stmts)
         Fmt.(list ~sep:(any ", ") string)
         p.params
-  | Error m -> Fmt.pr "frontend error: %s@." m
+  | Error m -> Fmt.pr "frontend error: %s@." m);
+  text_json Experiments.figure1_source
 
-let fig2 () =
-  section "Figure 2: generated PTX-style core";
-  print_string (Experiments.figure2_text ())
+let fig_text title text =
+  section title;
+  let s = text () in
+  print_string s;
+  text_json s
 
-let fig3 () =
-  section "Figure 3: opposite dependence cone";
-  print_string (Experiments.figure3_text ())
-
-let fig4 () =
-  section "Figure 4: hexagonal tile shape";
-  print_string (Experiments.figure4_text ())
+let fig2 () = fig_text "Figure 2: generated PTX-style core" Experiments.figure2_text
+let fig3 () = fig_text "Figure 3: opposite dependence cone" Experiments.figure3_text
+let fig4 () = fig_text "Figure 4: hexagonal tile shape" Experiments.figure4_text
 
 let fig5 () =
-  section "Figure 5: hexagonal tiling pattern (phases 0/1)";
-  print_string (Experiments.figure5_text ())
+  fig_text "Figure 5: hexagonal tiling pattern (phases 0/1)" Experiments.figure5_text
 
 let fig6 () =
-  section "Figure 6: hybrid n-dimensional schedule";
-  print_string (Experiments.figure6_text ())
+  fig_text "Figure 6: hybrid n-dimensional schedule" Experiments.figure6_text
 
-let table3 () =
-  section "Table 3: stencil characteristics";
-  print_string (Experiments.table3_text ())
+let table3 () = fig_text "Table 3: stencil characteristics" Experiments.table3_text
 
 let table1 ~quick () =
   section "Table 1: GStencils/second on (scaled) GTX 470";
   let rows = Experiments.table12 ~quick Device.gtx470 in
   Experiments.pp_table12 Device.gtx470 Fmt.stdout rows;
-  print_string (Experiments.patus_note ~quick Device.gtx470)
+  print_string (Experiments.patus_note ~quick Device.gtx470);
+  Experiments.table12_json Device.gtx470 rows
 
 let table2 ~quick () =
   section "Table 2: GStencils/second on (scaled) NVS 5200M";
   let rows = Experiments.table12 ~quick Device.nvs5200m in
-  Experiments.pp_table12 Device.nvs5200m Fmt.stdout rows
+  Experiments.pp_table12 Device.nvs5200m Fmt.stdout rows;
+  Experiments.table12_json Device.nvs5200m rows
 
 let tables45 ~quick () =
   section "Table 4: shared-memory optimization ladder (heat 3D, GFLOPS)";
@@ -68,25 +75,31 @@ let tables45 ~quick () =
   let nvs = Experiments.ladder ~quick Device.nvs5200m in
   Experiments.pp_table4 Fmt.stdout [ (Device.nvs5200m, nvs); (Device.gtx470, gtx) ];
   section "Table 5: performance counters (heat 3D ladder)";
-  Experiments.pp_table5 Fmt.stdout (Device.gtx470, gtx)
+  Experiments.pp_table5 Fmt.stdout (Device.gtx470, gtx);
+  Json.Obj
+    [
+      ("gtx470", Experiments.ladder_json Device.gtx470 gtx);
+      ("nvs5200m", Experiments.ladder_json Device.nvs5200m nvs);
+    ]
 
 let tilesize () =
-  section "Section 3.7: tile-size selection model";
-  print_string (Experiments.tile_size_sweep_text ())
+  fig_text "Section 3.7: tile-size selection model" Experiments.tile_size_sweep_text
 
 let diamond () =
-  section "Section 5: diamond vs hexagonal tile regularity";
-  print_string (Experiments.diamond_vs_hex_text ())
+  fig_text "Section 5: diamond vs hexagonal tile regularity"
+    Experiments.diamond_vs_hex_text
 
 let split1d ~quick () =
-  section "1D degenerate case: hexagonal vs split tiling";
-  print_string (Experiments.split1d_text ~quick Device.gtx470)
+  fig_text "1D degenerate case: hexagonal vs split tiling" (fun () ->
+      Experiments.split1d_text ~quick Device.gtx470)
 
 let ablate ~quick () =
   section "Ablation: time-tile height h (hybrid, heat 2D, GTX 470)";
+  let sweep = Experiments.h_sweep ~quick Device.gtx470 Hextile_stencils.Suite.heat2d in
   List.iter
     (fun (h, g) -> Fmt.pr "h=%d (%d time steps/tile): %.2f GStencils/s@." h ((2 * h) + 2) g)
-    (Experiments.h_sweep ~quick Device.gtx470 Hextile_stencils.Suite.heat2d)
+    sweep;
+  Experiments.h_sweep_json sweep
 
 (* ---- Bechamel micro-benchmarks: one per table/figure driver ---------- *)
 
@@ -144,6 +157,7 @@ let micro () =
   let ols =
     Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
   in
+  let rows = ref [] in
   List.iter
     (fun test ->
       let results = Benchmark.all cfg [ instance ] test in
@@ -151,13 +165,19 @@ let micro () =
       Hashtbl.iter
         (fun name res ->
           match Analyze.OLS.estimates res with
-          | Some (t :: _) -> Fmt.pr "%-34s %10.3f ms/run@." name (t /. 1e6)
+          | Some (t :: _) ->
+              Fmt.pr "%-34s %10.3f ms/run@." name (t /. 1e6);
+              rows := (name, Json.Float (t /. 1e6)) :: !rows
           | _ -> Fmt.pr "%-34s (no estimate)@." name)
         est)
-    tests
+    tests;
+  Json.Obj [ ("unit", Json.Str "ms/run"); ("runs", Json.Obj (List.rev !rows)) ]
 
 let () =
-  let only = ref [] and quick = ref true and do_micro = ref true in
+  let only = ref []
+  and quick = ref true
+  and do_micro = ref true
+  and json_out = ref None in
   let rec parse = function
     | [] -> ()
     | "--only" :: x :: rest ->
@@ -169,8 +189,13 @@ let () =
     | "--no-micro" :: rest ->
         do_micro := false;
         parse rest
+    | "--json" :: f :: rest ->
+        json_out := Some f;
+        parse rest
     | x :: rest ->
-        Fmt.epr "unknown argument %s (expected --only <id> | --full | --no-micro)@." x;
+        Fmt.epr
+          "unknown argument %s (expected --only <id> | --full | --no-micro | --json <file>)@."
+          x;
         parse rest
   in
   parse (List.tl (Array.to_list Sys.argv));
@@ -202,10 +227,32 @@ let () =
           (fun x -> if x = "table4" || x = "table5" then [ "table45" ] else [ x ])
           (List.rev l)
   in
-  List.iter
-    (fun id ->
-      match List.assoc_opt id all with
-      | Some f -> f ()
-      | None -> Fmt.epr "unknown experiment id %s@." id)
-    selected;
-  if !do_micro && !only = [] then micro ()
+  let results =
+    List.filter_map
+      (fun id ->
+        match List.assoc_opt id all with
+        | Some f -> Some (id, f ())
+        | None ->
+            Fmt.epr "unknown experiment id %s@." id;
+            None)
+      selected
+  in
+  let results =
+    if !do_micro && !only = [] then results @ [ ("micro", micro ()) ] else results
+  in
+  match !json_out with
+  | None -> ()
+  | Some path ->
+      let doc =
+        Json.Obj
+          [
+            ("bench_version", Json.Int 1);
+            ("quick", Json.Bool quick);
+            ("experiments", Json.Obj results);
+          ]
+      in
+      let oc = open_out path in
+      output_string oc (Json.to_string doc);
+      output_char oc '\n';
+      close_out oc;
+      Fmt.epr "wrote %s@." path

@@ -1,9 +1,11 @@
 (* hextile — hybrid hexagonal/classical tiling for GPUs, command line.
 
-   Subcommands: parse, deps, tile, codegen, run, tilesize, list. *)
+   Subcommands: parse, deps, tile, codegen, run, profile, tilesize, list. *)
 
 open Cmdliner
 module Experiments = Hextile_experiments.Experiments
+module Obs = Hextile_obs.Obs
+module Json = Hextile_obs.Json
 open Hextile_ir
 open Hextile_deps
 open Hextile_tiling
@@ -63,6 +65,27 @@ let device_arg =
 
 let env_of ~n ~t p = match p with "N" -> n | "T" -> t | _ -> raise Not_found
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Enable tracing and write the obs trace as JSON to $(docv).")
+
+(* With --trace, tracing is on for the whole command and the trace is
+   written even when the command fails partway. *)
+let with_trace trace k =
+  match trace with
+  | None -> k ()
+  | Some path ->
+      Obs.reset ();
+      Obs.enable ();
+      Fun.protect
+        ~finally:(fun () ->
+          Obs.write_json path;
+          Obs.disable ())
+        k
+
 let with_prog file builtin k =
   match load ~file ~builtin with
   | Error m ->
@@ -102,20 +125,24 @@ let deps_cmd =
     Term.(const run $ file_arg $ builtin_arg)
 
 let tile_cmd =
-  let run file builtin h w n t =
+  let run file builtin h w n t trace =
     with_prog file builtin (fun prog ->
-        let h, w, tiling = tiling_of prog h w in
-        Fmt.pr "h=%d w=(%a) %a@." h Fmt.(array ~sep:(any ",") int) w Cone.pp tiling.cone;
-        Fmt.pr "%a@.%s@." Hexagon.pp tiling.hex (Render.tile tiling.hex);
-        Fmt.pr "%a@." Tile_size.pp_stats (Tile_size.tile_stats tiling);
-        (match Hybrid.check_legality tiling (env_of ~n ~t) with
-        | Ok () -> Fmt.pr "legality check (N=%d, T=%d): OK@." n t
-        | Error m -> Fmt.pr "legality check FAILED: %s@." m);
-        0)
+        with_trace trace (fun () ->
+            let h, w, tiling = tiling_of prog h w in
+            Fmt.pr "h=%d w=(%a) %a@." h Fmt.(array ~sep:(any ",") int) w Cone.pp tiling.cone;
+            Fmt.pr "%a@.%s@." Hexagon.pp tiling.hex (Render.tile tiling.hex);
+            Fmt.pr "%a@." Tile_size.pp_stats (Tile_size.tile_stats tiling);
+            match Hybrid.check_legality tiling (env_of ~n ~t) with
+            | Ok () ->
+                Fmt.pr "legality check (N=%d, T=%d): OK@." n t;
+                0
+            | Error m ->
+                Fmt.epr "hextile: legality check FAILED: %s@." m;
+                1))
   in
   Cmd.v
     (Cmd.info "tile" ~doc:"Build the hybrid schedule, show the tile, check legality.")
-    Term.(const run $ file_arg $ builtin_arg $ h_arg $ w_arg $ n_arg $ t_arg)
+    Term.(const run $ file_arg $ builtin_arg $ h_arg $ w_arg $ n_arg $ t_arg $ trace_arg)
 
 let codegen_cmd =
   let run file builtin h w =
@@ -150,51 +177,183 @@ let scheme_arg =
     & info [ "scheme" ] ~doc:"Tiling scheme to execute.")
 
 let run_cmd =
-  let run file builtin scheme dev n t =
+  let run file builtin scheme dev n t trace =
     with_prog file builtin (fun prog ->
-        let env = [ ("N", n); ("T", t) ] in
-        match Experiments.run_scheme scheme prog env dev with
-        | r ->
-            Fmt.pr "%s on %s, N=%d T=%d: verified OK@." r.scheme prog.name n t;
-            Fmt.pr "updates            %d@." r.updates;
-            Fmt.pr "GStencils/s        %.3f@." (Common.gstencils_per_s r);
-            Fmt.pr "kernel time        %.3e s (+ %.3e s transfer)@." r.kernel_time
-              r.transfer_time;
-            Fmt.pr "%a@." Counters.pp r.counters;
-            0
-        | exception Failure m ->
-            Fmt.epr "hextile: %s@." m;
-            1)
+        with_trace trace (fun () ->
+            let env = [ ("N", n); ("T", t) ] in
+            match Experiments.run_scheme scheme prog env dev with
+            | r ->
+                Fmt.pr "%s on %s, N=%d T=%d: verified OK@." r.scheme prog.name n t;
+                Fmt.pr "updates            %d@." r.updates;
+                Fmt.pr "GStencils/s        %.3f@." (Common.gstencils_per_s r);
+                Fmt.pr "kernel time        %.3e s (+ %.3e s transfer)@." r.kernel_time
+                  r.transfer_time;
+                Fmt.pr "%a@." Counters.pp r.counters;
+                0
+            | exception Failure m ->
+                Fmt.epr "hextile: %s@." m;
+                1))
   in
   Cmd.v
     (Cmd.info "run"
        ~doc:"Simulate a scheme on the GPU model and verify against the reference.")
-    Term.(const run $ file_arg $ builtin_arg $ scheme_arg $ device_arg $ n_arg $ t_arg)
+    Term.(
+      const run $ file_arg $ builtin_arg $ scheme_arg $ device_arg $ n_arg $ t_arg
+      $ trace_arg)
 
 let tilesize_cmd =
-  let run file builtin =
+  let run file builtin trace =
     with_prog file builtin (fun prog ->
-        let dims = Stencil.spatial_dims prog in
-        let wi = List.init (dims - 1) (fun d -> if d = dims - 2 then [ 32; 64 ] else [ 4; 6; 10 ]) in
-        (match
-           Tile_size.select prog ~h_candidates:[ 1; 2; 3; 5 ]
-             ~w0_candidates:[ 2; 4; 7; 8 ] ~wi_candidates:wi
-             ~shared_mem_floats:(48 * 1024 / 4)
-             ~require_multiple:(if dims > 1 then 32 else 1) ()
-         with
-        | Some c -> Fmt.pr "selected %a@." Tile_size.pp_choice c
-        | None -> Fmt.pr "no feasible tile size in the candidate grid@.");
-        0)
+        with_trace trace (fun () ->
+            let dims = Stencil.spatial_dims prog in
+            let wi = List.init (dims - 1) (fun d -> if d = dims - 2 then [ 32; 64 ] else [ 4; 6; 10 ]) in
+            match
+              Tile_size.select prog ~h_candidates:[ 1; 2; 3; 5 ]
+                ~w0_candidates:[ 2; 4; 7; 8 ] ~wi_candidates:wi
+                ~shared_mem_floats:(48 * 1024 / 4)
+                ~require_multiple:(if dims > 1 then 32 else 1) ()
+            with
+            | Some c ->
+                Fmt.pr "selected %a@." Tile_size.pp_choice c;
+                0
+            | None ->
+                Fmt.epr "hextile: no feasible tile size in the candidate grid@.";
+                1))
   in
   Cmd.v
     (Cmd.info "tilesize" ~doc:"Select tile sizes by load-to-compute ratio (Sec 3.7).")
-    Term.(const run $ file_arg $ builtin_arg)
+    Term.(const run $ file_arg $ builtin_arg $ trace_arg)
+
+(* ---- profile: the whole pipeline under one trace ----------------------- *)
+
+let output_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "output"; "o" ] ~docv:"FILE"
+        ~doc:"Write the profile JSON to $(docv) instead of stdout.")
+
+(* Flatten every kernel_launch event of the span tree into one
+   nvprof-style timeline, in trace order. *)
+let timeline_of_trace () =
+  let entries = ref [] in
+  let value_json : Obs.value -> Json.t = function
+    | Obs.Bool b -> Json.Bool b
+    | Obs.Int i -> Json.Int i
+    | Obs.Float f -> Json.Float f
+    | Obs.Str s -> Json.Str s
+  in
+  let rec walk (t : Obs.span_tree) =
+    List.iter
+      (fun (name, t_s, attrs) ->
+        if String.equal name "kernel_launch" then
+          entries :=
+            Json.Obj
+              (("t_s", Json.Float t_s)
+              :: List.map (fun (k, v) -> (k, value_json v)) attrs)
+            :: !entries)
+      t.Obs.events;
+    List.iter walk t.Obs.children
+  in
+  List.iter walk (Obs.roots ());
+  List.rev !entries
+
+let profile_cmd =
+  let run file builtin scheme dev n t h w output =
+    Obs.reset ();
+    Obs.enable ();
+    let loaded =
+      Obs.span "frontend" (fun () ->
+          Obs.annot "source"
+            (Obs.Str
+               (match (file, builtin) with
+               | Some f, _ -> f
+               | _, Some b -> "builtin:" ^ b
+               | None, None -> "<none>"));
+          load ~file ~builtin)
+    in
+    match loaded with
+    | Error m ->
+        Fmt.epr "hextile: %s@." m;
+        1
+    | Ok prog -> (
+        let env = [ ("N", n); ("T", t) ] in
+        Obs.span "deps" (fun () ->
+            let deps = Dep.analyze prog in
+            Obs.annot "dependences" (Obs.Int (List.length deps));
+            for d = 0 to Stencil.spatial_dims prog - 1 do
+              ignore (Cone.of_deps deps ~dim:d)
+            done);
+        let h, w, tiling =
+          Obs.span "tiling" (fun () ->
+              let h, w, tiling = tiling_of prog h w in
+              Obs.annot "h" (Obs.Int h);
+              Obs.annot "w"
+                (Obs.Str (Fmt.str "%a" Fmt.(array ~sep:(any ",") int) w));
+              Obs.annot "tile_points" (Obs.Int (Hexagon.count tiling.hex));
+              let stats = Tile_size.tile_stats tiling in
+              Obs.annot "loads_per_iteration" (Obs.Float stats.ratio);
+              Obs.annot "shared_footprint_floats" (Obs.Int stats.footprint_box);
+              (match Hybrid.check_legality tiling (env_of ~n ~t) with
+              | Ok () -> Obs.annot "legality" (Obs.Str "ok")
+              | Error m -> Obs.annot "legality" (Obs.Str ("FAILED: " ^ m)));
+              (h, w, tiling))
+        in
+        Obs.span "codegen" (fun () ->
+            let cuda = Hextile_codegen.Cuda_emit.host_and_kernels tiling prog in
+            Obs.annot "cuda_bytes" (Obs.Int (String.length cuda));
+            List.iter
+              (fun (s : Stencil.stmt) ->
+                let l = Hextile_codegen.Ptx_emit.core_listing prog s in
+                Obs.annot (s.sname ^ ".core_loads") (Obs.Int l.loads);
+                Obs.annot (s.sname ^ ".core_ops") (Obs.Int l.arith))
+              prog.stmts);
+        match Obs.span "sim" (fun () -> Experiments.run_scheme scheme prog env dev) with
+        | exception Failure m ->
+            Fmt.epr "hextile: %s@." m;
+            1
+        | result ->
+            let doc =
+              Json.Obj
+                [
+                  ("profile_version", Json.Int 1);
+                  ("program", Json.Str prog.name);
+                  ("scheme", Json.Str (Experiments.scheme_name scheme));
+                  ("device", Json.Str dev.Device.name);
+                  ("env", Json.Obj [ ("N", Json.Int n); ("T", Json.Int t) ]);
+                  ("h", Json.Int h);
+                  ( "w",
+                    Json.List (Array.to_list (Array.map (fun x -> Json.Int x) w)) );
+                  ("result", Experiments.result_json result);
+                  ("timeline", Json.List (timeline_of_trace ()));
+                  ("trace", Obs.to_json ());
+                ]
+            in
+            Obs.disable ();
+            (match output with
+            | None -> print_endline (Json.to_string doc)
+            | Some path ->
+                Out_channel.with_open_text path (fun oc ->
+                    Out_channel.output_string oc (Json.to_string doc);
+                    Out_channel.output_char oc '\n'));
+            0)
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run the whole pipeline (frontend, deps, tiling, codegen, sim) under \
+          the tracing layer and emit a single nvprof-style JSON profile.")
+    Term.(
+      const run $ file_arg $ builtin_arg $ scheme_arg $ device_arg $ n_arg $ t_arg
+      $ h_arg $ w_arg $ output_arg)
 
 let list_cmd =
+  (* Diagnostic listing goes to stderr, like all other non-result output,
+     so traces piped from stdout stay valid JSON. *)
   let run () =
     List.iter
       (fun (p : Stencil.t) ->
-        Fmt.pr "%-12s %dD, %d statement(s)@." p.name (Stencil.spatial_dims p)
+        Fmt.epr "%-12s %dD, %d statement(s)@." p.name (Stencil.spatial_dims p)
           (List.length p.stmts))
       Hextile_stencils.Suite.all;
     0
@@ -207,4 +366,13 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ parse_cmd; deps_cmd; tile_cmd; codegen_cmd; run_cmd; tilesize_cmd; list_cmd ]))
+          [
+            parse_cmd;
+            deps_cmd;
+            tile_cmd;
+            codegen_cmd;
+            run_cmd;
+            profile_cmd;
+            tilesize_cmd;
+            list_cmd;
+          ]))

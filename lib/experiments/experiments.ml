@@ -5,6 +5,8 @@ open Hextile_stencils
 open Hextile_tiling
 open Hextile_deps
 open Hextile_util
+module Obs = Hextile_obs.Obs
+module Json = Hextile_obs.Json
 
 type scheme = Ppcg | Par4all | Overtile | Patus | Hybrid
 
@@ -86,6 +88,10 @@ let verify_result (r : Common.result) prog env =
          r.scheme prog.Stencil.name r.updates expected)
 
 let run_scheme ?(verify = true) scheme (prog : Stencil.t) env dev =
+  Obs.span "experiments.run_scheme" @@ fun () ->
+  Obs.annot "scheme" (Obs.Str (scheme_name scheme));
+  Obs.annot "stencil" (Obs.Str prog.name);
+  List.iter (fun (p, v) -> Obs.annot p (Obs.Int v)) env;
   let dev = scaled_device dev prog env in
   let e = env_fn env in
   let r =
@@ -114,7 +120,7 @@ let run_scheme ?(verify = true) scheme (prog : Stencil.t) env dev =
         |> Option.get
     | Hybrid -> Hybrid_exec.run prog e dev
   in
-  if verify then verify_result r prog env;
+  if verify then Obs.span "experiments.verify" (fun () -> verify_result r prog env);
   r
 
 (* ---- Tables 1 and 2 --------------------------------------------------- *)
@@ -122,6 +128,8 @@ let run_scheme ?(verify = true) scheme (prog : Stencil.t) env dev =
 type perf_row = { kernel : string; cells : (scheme * float) list }
 
 let table12 ?(quick = true) dev =
+  Obs.span "experiments.table12" @@ fun () ->
+  Obs.annot "device" (Obs.Str dev.Device.name);
   List.map
     (fun prog ->
       let env = sizes ~quick prog in
@@ -229,6 +237,8 @@ let ladder_labels =
   ]
 
 let ladder ?(quick = true) dev =
+  Obs.span "experiments.ladder" @@ fun () ->
+  Obs.annot "device" (Obs.Str dev.Device.name);
   let prog = Suite.heat3d in
   let env = sizes ~quick prog in
   List.map
@@ -396,6 +406,7 @@ let patus_note ?(quick = true) dev =
     (cell Suite.laplacian3d) (cell Suite.heat3d)
 
 let h_sweep ?(quick = true) dev (prog : Stencil.t) =
+  Obs.span "experiments.h_sweep" @@ fun () ->
   let env = sizes ~quick prog in
   let k = List.length prog.stmts in
   let base = Hybrid_exec.default_config prog in
@@ -458,3 +469,70 @@ let split1d_text ?(quick = true) dev =
     (Split_tiling.run ~config:{ hh = 4; width = 64 } prog (env_fn env) d);
   run "ppcg (space tiling)" (Ppcg.run prog (env_fn env) d);
   Buffer.contents b
+
+(* ---- machine-readable sinks (bench --json) ----------------------------- *)
+
+let result_json (r : Common.result) =
+  Json.Obj
+    [
+      ("scheme", Json.Str r.scheme);
+      ("device", Json.Str r.device.Device.name);
+      ("updates", Json.Int r.updates);
+      ("kernel_time_s", Json.Float r.kernel_time);
+      ("transfer_time_s", Json.Float r.transfer_time);
+      ("gstencils_per_s", Json.Float (Common.gstencils_per_s r));
+      ( "counters",
+        Json.Obj
+          (List.map (fun (k, v) -> (k, Json.Int v)) (Counters.to_assoc r.counters))
+      );
+      ("gld_efficiency", Json.Float (Counters.gld_efficiency r.counters));
+      ( "shared_loads_per_request",
+        Json.Float (Counters.shared_loads_per_request r.counters) );
+    ]
+
+let table12_json (dev : Device.t) rows =
+  Json.Obj
+    [
+      ("device", Json.Str dev.name);
+      ("unit", Json.Str "GStencils/s");
+      ( "rows",
+        Json.List
+          (List.map
+             (fun row ->
+               Json.Obj
+                 (("kernel", Json.Str row.kernel)
+                 :: List.map
+                      (fun (s, v) -> (scheme_name s, Json.Float v))
+                      row.cells))
+             rows) );
+    ]
+
+let ladder_json (dev : Device.t) steps =
+  Json.Obj
+    [
+      ("device", Json.Str dev.name);
+      ("kernel", Json.Str "heat3d");
+      ( "steps",
+        Json.List
+          (List.map
+             (fun s ->
+               Json.Obj
+                 [
+                   ("step", Json.Str (String.make 1 s.step));
+                   ("label", Json.Str s.label);
+                   ( "gflops",
+                     Json.Float
+                       (Common.gflops s.result ~flops_per_update:heat3d_flops) );
+                   ( "gstencils_per_s",
+                     Json.Float (Common.gstencils_per_s s.result) );
+                   ("result", result_json s.result);
+                 ])
+             steps) );
+    ]
+
+let h_sweep_json rows =
+  Json.List
+    (List.map
+       (fun (h, g) ->
+         Json.Obj [ ("h", Json.Int h); ("gstencils_per_s", Json.Float g) ])
+       rows)

@@ -97,3 +97,17 @@ val diamond_vs_hex_text : unit -> string
 val split1d_text : ?quick:bool -> Device.t -> string
 (** The 1D degenerate case: hexagonal (hybrid) vs split tiling vs space
     tiling on heat 1D, all verified. *)
+
+(** {2 Machine-readable sinks}
+
+    JSON forms of the evaluation data, mirroring the printed tables row
+    by row (used by [bench --json] so the perf trajectory can be diffed
+    across commits). *)
+
+val result_json : Common.result -> Hextile_obs.Json.t
+(** One simulated run: scheme, device, times, throughput and the full
+    counter set. *)
+
+val table12_json : Device.t -> perf_row list -> Hextile_obs.Json.t
+val ladder_json : Device.t -> ladder_step list -> Hextile_obs.Json.t
+val h_sweep_json : (int * float) list -> Hextile_obs.Json.t

@@ -85,14 +85,39 @@ let diff now before =
     kernels = now.kernels - before.kernels;
   }
 
+(* Ratio counters must stay defined when the denominator is zero so that
+   NaN/inf never leak into reports: no transactions means no transferred
+   bytes (efficiency 0), no requests means no replays (factor 1). *)
 let gld_efficiency t =
-  if t.gld_transactions = 0 then 1.0
+  if t.gld_transactions = 0 then 0.0
   else
     float_of_int t.gld_useful_bytes /. float_of_int (t.gld_transactions * 128)
 
 let shared_loads_per_request t =
   if t.shared_load_requests = 0 then 1.0
   else float_of_int t.shared_load_transactions /. float_of_int t.shared_load_requests
+
+let to_assoc t =
+  [
+    ("gld_inst", t.gld_inst);
+    ("gst_inst", t.gst_inst);
+    ("gld_requests", t.gld_requests);
+    ("gld_transactions", t.gld_transactions);
+    ("gst_transactions", t.gst_transactions);
+    ("gld_useful_bytes", t.gld_useful_bytes);
+    ("l2_read_transactions", t.l2_read_transactions);
+    ("l2_write_transactions", t.l2_write_transactions);
+    ("dram_read_transactions", t.dram_read_transactions);
+    ("dram_write_transactions", t.dram_write_transactions);
+    ("shared_load_requests", t.shared_load_requests);
+    ("shared_load_transactions", t.shared_load_transactions);
+    ("shared_store_requests", t.shared_store_requests);
+    ("shared_store_transactions", t.shared_store_transactions);
+    ("serial_store_transactions", t.serial_store_transactions);
+    ("flops", t.flops);
+    ("syncs", t.syncs);
+    ("kernels", t.kernels);
+  ]
 
 let pp ppf t =
   Fmt.pf ppf

@@ -34,9 +34,15 @@ val diff : t -> t -> t
 (** [diff now before] — per-launch deltas. *)
 
 val gld_efficiency : t -> float
-(** useful bytes / transferred bytes of global loads, in [0, 1]. *)
+(** useful bytes / transferred bytes of global loads, in [0, 1];
+    defined as [0.0] when no transaction was issued. *)
 
 val shared_loads_per_request : t -> float
-(** Bank-conflict replay factor ("shared loads per request", ≥ 1). *)
+(** Bank-conflict replay factor ("shared loads per request", ≥ 1);
+    defined as [1.0] when no request was issued. *)
+
+val to_assoc : t -> (string * int) list
+(** Every counter as a (name, value) pair, in declaration order — the
+    machine-readable form used by trace/JSON sinks. *)
 
 val pp : t Fmt.t

@@ -1,3 +1,5 @@
+module Obs = Hextile_obs.Obs
+
 type t = {
   dev : Device.t;
   total : Counters.t;
@@ -15,6 +17,7 @@ and launch = {
   shared_bytes : int;
   delta : Counters.t;
   time_s : float;
+  bottleneck : string;
 }
 
 let create (dev : Device.t) =
@@ -120,13 +123,15 @@ let flops_warp t ~active ~per_lane =
 
 let sync t = t.total.syncs <- t.total.syncs + 1
 
-(* Analytic time of one launch from its counter deltas: roofline over the
-   four throughput resources, plus serialized barrier cost and fixed
-   launch overhead. *)
-let launch_time (dev : Device.t) ~blocks (d : Counters.t) =
-  let concurrency =
-    if blocks <= 0 then 1.0 else Float.min 1.0 (float_of_int blocks /. float_of_int dev.sms)
-  in
+let occupancy (dev : Device.t) ~blocks =
+  if blocks <= 0 then 1.0
+  else Float.min 1.0 (float_of_int blocks /. float_of_int dev.sms)
+
+(* The roofline resources a launch can be limited by, with the time each
+   one alone would take. The overall launch time is the max over these,
+   plus serialized copy-out, barrier cost and fixed launch overhead. *)
+let roofline_components (dev : Device.t) ~blocks (d : Counters.t) =
+  let concurrency = occupancy dev ~blocks in
   let line = float_of_int dev.line_bytes in
   let t_compute =
     float_of_int d.flops
@@ -151,14 +156,35 @@ let launch_time (dev : Device.t) ~blocks (d : Counters.t) =
     (float_of_int d.gld_requests +. (float_of_int d.gst_inst /. 32.0))
     *. dev.gmem_request_cycles /. sm_hz
   in
+  [
+    ("compute", t_compute);
+    ("dram", t_dram);
+    ("l2", t_l2);
+    ("shared", t_shared);
+    ("lsu", t_lsu);
+  ]
+
+let bottleneck_of (dev : Device.t) ~blocks (d : Counters.t) =
+  List.fold_left
+    (fun (bn, bt) (n, t) -> if t > bt then (n, t) else (bn, bt))
+    ("compute", Float.neg_infinity)
+    (roofline_components dev ~blocks d)
+  |> fst
+
+let launch_time (dev : Device.t) ~blocks (d : Counters.t) =
+  let sm_hz =
+    float_of_int dev.sms *. dev.clock_ghz *. 1e9 *. occupancy dev ~blocks
+  in
+  let line = float_of_int dev.line_bytes in
   let t_sync = float_of_int d.syncs *. dev.sync_cycles /. sm_hz in
   (* a dedicated copy-out phase does not overlap computation *)
   let t_serial =
     float_of_int d.serial_store_transactions *. line /. (dev.l2_bw_gbs *. 1e9)
   in
-  Float.max
-    (Float.max (Float.max t_compute t_dram) (Float.max t_l2 t_shared))
-    t_lsu
+  List.fold_left
+    (fun acc (_, t) -> Float.max acc t)
+    0.0
+    (roofline_components dev ~blocks d)
   +. t_serial +. t_sync +. dev.launch_overhead_s
 
 (* Deterministic scrambled block order: visit i -> (i*stride + 1) mod n for
@@ -191,8 +217,30 @@ let launch t ~name ~blocks ~threads ~shared_bytes ~f =
     let delta = Counters.diff t.total before in
     delta.kernels <- 1;
     let time_s = launch_time t.dev ~blocks delta in
+    let bottleneck = bottleneck_of t.dev ~blocks delta in
     t.launches <-
-      { lname = name; blocks; threads; shared_bytes; delta; time_s } :: t.launches
+      { lname = name; blocks; threads; shared_bytes; delta; time_s; bottleneck }
+      :: t.launches;
+    if Obs.enabled () then
+      (* nvprof-style timeline entry: one event per kernel launch with
+         the full counter delta, occupancy and bottleneck class *)
+      Obs.event "kernel_launch"
+        (List.concat
+           [
+             [
+               ("kernel", Obs.Str name);
+               ("blocks", Obs.Int blocks);
+               ("threads", Obs.Int threads);
+               ("shared_bytes", Obs.Int shared_bytes);
+               ("time_s", Obs.Float time_s);
+               ("occupancy", Obs.Float (occupancy t.dev ~blocks));
+               ("bottleneck", Obs.Str bottleneck);
+               ("gld_efficiency", Obs.Float (Counters.gld_efficiency delta));
+               ( "shared_loads_per_request",
+                 Obs.Float (Counters.shared_loads_per_request delta) );
+             ];
+             List.map (fun (k, v) -> (k, Obs.Int v)) (Counters.to_assoc delta);
+           ])
   end
 
 let kernel_time t = List.fold_left (fun acc l -> acc +. l.time_s) 0.0 t.launches
@@ -203,6 +251,6 @@ let transfer_time t ~bytes =
 let pp_launches ppf t =
   List.iter
     (fun l ->
-      Fmt.pf ppf "%s: %d blocks x %d threads, %.2e s@," l.lname l.blocks l.threads
-        l.time_s)
+      Fmt.pf ppf "%s: %d blocks x %d threads, %.2e s (%s-bound)@," l.lname
+        l.blocks l.threads l.time_s l.bottleneck)
     (List.rev t.launches)

@@ -29,6 +29,9 @@ and launch = {
   shared_bytes : int;
   delta : Counters.t;
   time_s : float;
+  bottleneck : string;
+      (** the roofline resource that dominated this launch: "compute",
+          "dram", "l2", "shared" or "lsu" *)
 }
 
 val create : Device.t -> t
@@ -64,6 +67,17 @@ val flops_warp : t -> active:int -> per_lane:int -> unit
 val sync : t -> unit
 
 (** {2 Results} *)
+
+val occupancy : Device.t -> blocks:int -> float
+(** Fraction of the device's SMs kept busy by a launch of [blocks]
+    blocks, in (0, 1]. *)
+
+val roofline_components : Device.t -> blocks:int -> Counters.t -> (string * float) list
+(** Per-resource times of the launch-time roofline (resource name,
+    seconds if that resource alone were the limit). *)
+
+val bottleneck_of : Device.t -> blocks:int -> Counters.t -> string
+(** Name of the slowest roofline resource for these counter deltas. *)
 
 val kernel_time : t -> float
 (** Sum of launch times. *)

@@ -1,0 +1,38 @@
+(** A minimal self-contained JSON document type with a printer and a
+    strict parser — enough for trace/report files without pulling in an
+    external dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?minify:bool -> t -> string
+(** Serialize. Non-finite floats (nan, ±inf) are emitted as [null] so the
+    output is always valid JSON. Pretty-printed with 2-space indentation
+    unless [minify] is set. *)
+
+val pp : t Fmt.t
+(** [pp] prints {!to_string} output. *)
+
+val parse : string -> (t, string) result
+(** Strict recursive-descent parser for the grammar emitted by
+    {!to_string} (standard JSON). Numbers without [.], [e] or [E] that
+    fit in an OCaml [int] parse as [Int], everything else as [Float].
+    Errors carry a byte offset. *)
+
+(** {2 Accessors} (total: return [None] on shape mismatch) *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj]. *)
+
+val to_list : t -> t list option
+val to_int : t -> int option
+val to_float : t -> float option
+(** [to_float] also accepts [Int]. *)
+
+val to_str : t -> string option

@@ -1,0 +1,92 @@
+(** End-to-end tracing and profiling.
+
+    A process-global registry of hierarchical {e spans} (timed regions of
+    the compiler/simulator pipeline), monotonic {e counters} (LP solves,
+    Fourier–Motzkin eliminations, enumerated points, …), key/value
+    {e annotations} on the current span and timestamped {e events}
+    (nvprof-style per-kernel-launch timeline entries).
+
+    The registry is disabled by default: every hook added to the
+    libraries compiles down to one load + branch, so instrumented code
+    pays essentially nothing unless a driver opted in with {!enable}.
+    The registry is not thread-safe; drivers are single-threaded. *)
+
+type value = Bool of bool | Int of int | Float of float | Str of string
+
+(** {2 Global switch} *)
+
+val enabled : unit -> bool
+val enable : unit -> unit
+val disable : unit -> unit
+
+val reset : unit -> unit
+(** Drop all recorded spans, events and counters (keeps the
+    enabled/disabled state). *)
+
+(** {2 Spans} *)
+
+val start : string -> unit
+(** Open a span as a child of the innermost open span. No-op when
+    disabled. *)
+
+val stop : string -> unit
+(** Close the innermost open span. The name must match the innermost
+    {!start} (spans close in LIFO order); raises [Invalid_argument] on a
+    mismatch or when no span is open. No-op when disabled. *)
+
+val span : string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f ()] inside a span; the span is closed even when
+    [f] raises. Equivalent to [f ()] when disabled. *)
+
+val annot : string -> value -> unit
+(** Attach a key/value annotation to the innermost open span (to the
+    trace root when none is open). Re-annotating a key overwrites. *)
+
+val event : string -> (string * value) list -> unit
+(** Record a timestamped event under the innermost open span (or the
+    trace root). Events are kept in order. *)
+
+(** {2 Counters} *)
+
+val incr : ?by:int -> string -> unit
+(** Bump a global monotonic counter (creating it at 0). Accumulation is
+    plain addition, matching [Counters.add]/[diff] semantics. No-op when
+    disabled. *)
+
+val counter : string -> int
+(** Current value ([0] if never bumped). Readable even while disabled. *)
+
+val counters : unit -> (string * int) list
+(** All counters, sorted by name. *)
+
+(** {2 Inspection} *)
+
+type span_tree = {
+  sname : string;
+  start_s : float;  (** seconds since the trace epoch *)
+  dur_s : float;  (** -1.0 while still open *)
+  attrs : (string * value) list;
+  events : (string * float * (string * value) list) list;
+      (** (name, time since epoch, attrs) *)
+  children : span_tree list;
+}
+
+val roots : unit -> span_tree list
+(** Completed and still-open top-level spans, in start order. *)
+
+val open_spans : unit -> string list
+(** Names of currently open spans, innermost first. *)
+
+(** {2 Sinks} *)
+
+val to_json : unit -> Json.t
+(** The whole registry as one JSON document: [{"counters": {...},
+    "spans": [...], "events": [...]}]. Span entries carry name, start,
+    duration, attrs, events and children. *)
+
+val pp_text : Format.formatter -> unit -> unit
+(** Human-readable report: span tree with durations, then counters. *)
+
+val write_json : string -> unit
+(** [write_json path] writes {!to_json} (pretty-printed, trailing
+    newline) to [path]. *)

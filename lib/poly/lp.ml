@@ -1,4 +1,5 @@
 open Hextile_util
+module Obs = Hextile_obs.Obs
 
 type result = Empty | Unbounded | Opt of Rat.t
 
@@ -17,6 +18,7 @@ let with_objective p ~obj ~const =
   Polyhedron.make space' (z_def :: cs)
 
 let maximize p ~obj ?(const = 0) () =
+  Obs.incr "poly.lp_solves";
   let q = with_objective p ~obj ~const in
   match Polyhedron.var_bounds q (Polyhedron.dim p) with
   | None -> Empty
@@ -24,6 +26,7 @@ let maximize p ~obj ?(const = 0) () =
   | Some (_, Some hi) -> Opt hi
 
 let minimize p ~obj ?(const = 0) () =
+  Obs.incr "poly.lp_solves";
   let q = with_objective p ~obj ~const in
   match Polyhedron.var_bounds q (Polyhedron.dim p) with
   | None -> Empty

@@ -1,4 +1,5 @@
 open Hextile_util
+module Obs = Hextile_obs.Obs
 
 type t = { space : Space.t; cs : Constr.t list }
 
@@ -25,10 +26,12 @@ let sign n = compare n 0
    pivot: an equality [e] with a nonzero coefficient at [j] lets every
    other constraint be rewritten without the pair-combination blowup. *)
 let eliminate_keep t j =
+  Obs.incr "poly.fm_eliminations";
   let open Constr in
   let has_j c = coeff c j <> 0 in
   match List.find_opt (fun c -> c.kind = Eq && has_j c) t.cs with
   | Some e ->
+      Obs.incr "poly.fm_eq_pivots";
       let ej = coeff e j in
       let cs =
         List.filter_map
@@ -124,7 +127,10 @@ let fold_points t ~init ~f =
   else begin
     let env = Array.make (max n 1) 0 in
     let rec go k acc =
-      if k = n then f acc (Array.sub env 0 n)
+      if k = n then begin
+        Obs.incr "poly.points_enumerated";
+        f acc (Array.sub env 0 n)
+      end
       else
         match level_bounds projs.(k + 1) k env with
         | None -> acc

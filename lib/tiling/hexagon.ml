@@ -1,6 +1,7 @@
 open Hextile_deps
 open Hextile_util
 open Hextile_poly
+module Obs = Hextile_obs.Obs
 
 type t = {
   h : int;
@@ -57,6 +58,15 @@ let make ~h ~w0 (cone : Cone.t) =
   let height = (2 * h) + 2 in
   let space = Space.make [ "a"; "b" ] in
   let poly = Polyhedron.make space (shape_constraints ~h ~w0 ~fl0 ~fl1 cone) in
+  (* Verify the shape is bounded and non-empty with exact rational LP
+     (the convexity condition (1) should guarantee it; a degenerate
+     result here means an inconsistent cone). *)
+  (match (Lp.minimize poly ~obj:[| 0; 1 |] (), Lp.maximize poly ~obj:[| 0; 1 |] ()) with
+  | Lp.Opt _, Lp.Opt _ -> ()
+  | _ ->
+      invalid_arg
+        (Fmt.str "Hexagon.make: degenerate tile shape (h=%d, w0=%d)" h w0));
+  Obs.incr "tiling.hexagons_built";
   { h; w0; cone; fl0; fl1; width; height; poly }
 
 let contains t ~a ~b = Polyhedron.contains t.poly [| a; b |]

@@ -1,6 +1,7 @@
 open Hextile_deps
 open Hextile_ir
 open Hextile_util
+module Obs = Hextile_obs.Obs
 
 type coords = {
   phase : int;
@@ -41,15 +42,26 @@ let make ?(hex_dim = 0) (prog : Stencil.t) ~h ~w =
          "Hybrid.make: h+1 = %d must be a multiple of the statement count %d \
           so every tile starts with the same statement"
          (h + 1) k);
-  let deps = Dep.analyze prog in
-  let cone = Cone.of_deps deps ~dim:0 in
-  let hex = Hexagon.make ~h ~w0:w.(0) cone in
-  let hs = Hex_schedule.make hex in
-  let classical =
-    Array.init (dims - 1) (fun i ->
-        Classical.make ~delta1:(Cone.delta1_only deps ~dim:(i + 1)) ~w:w.(i + 1))
-  in
-  { prog; k; dims; deps; cone; h; w; hex; hs; classical }
+  Obs.span "tiling.hybrid_make" (fun () ->
+      Obs.annot "stencil" (Obs.Str prog.name);
+      Obs.annot "h" (Obs.Int h);
+      Obs.annot "w"
+        (Obs.Str
+           (Fmt.str "%a" Fmt.(array ~sep:(any ",") int) w));
+      let deps = Obs.span "tiling.dependence_cone" (fun () -> Dep.analyze prog) in
+      let cone = Cone.of_deps deps ~dim:0 in
+      let hex =
+        Obs.span "tiling.hexagon_make" (fun () -> Hexagon.make ~h ~w0:w.(0) cone)
+      in
+      let hs = Hex_schedule.make hex in
+      let classical =
+        Obs.span "tiling.classical_make" (fun () ->
+            Array.init (dims - 1) (fun i ->
+                Classical.make
+                  ~delta1:(Cone.delta1_only deps ~dim:(i + 1))
+                  ~w:w.(i + 1)))
+      in
+      { prog; k; dims; deps; cone; h; w; hex; hs; classical })
 
 let instance_u t ~stmt ~tstep = (t.k * tstep) + stmt
 let stmt_of_u t u = Intutil.fmod u t.k

@@ -1,5 +1,6 @@
 open Hextile_ir
 open Hextile_deps
+module Obs = Hextile_obs.Obs
 
 type stats = {
   iterations : int;
@@ -134,42 +135,59 @@ let rec cartesian = function
 
 let select prog ~h_candidates ~w0_candidates ~wi_candidates ~shared_mem_floats
     ?require_multiple () =
-  let k = List.length prog.Stencil.stmts in
-  let deps = Dep.analyze prog in
-  let cone = Cone.of_deps deps ~dim:0 in
-  let best = ref None in
-  List.iter
-    (fun h ->
-      if (h + 1) mod k = 0 then
-        List.iter
-          (fun w0 ->
-            if w0 >= Hexagon.min_w0 ~h cone then
-              List.iter
-                (fun wis ->
-                  let w = Array.of_list (w0 :: wis) in
-                  let innermost = w.(Array.length w - 1) in
-                  let aligned =
-                    match require_multiple with
-                    | Some m -> innermost mod m = 0
-                    | None -> true
-                  in
-                  if aligned then begin
-                    let t = Hybrid.make prog ~h ~w in
-                    let stats = tile_stats t in
-                    if stats.footprint_box <= shared_mem_floats then
-                      match !best with
-                      | None -> best := Some { h; w; stats }
-                      | Some b ->
-                          if
-                            stats.ratio < b.stats.ratio -. 1e-12
-                            || (Float.abs (stats.ratio -. b.stats.ratio) <= 1e-12
-                               && stats.iterations > b.stats.iterations)
-                          then best := Some { h; w; stats }
-                  end)
-                (cartesian wi_candidates))
-          w0_candidates)
-    h_candidates;
-  !best
+  Obs.span "tiling.tile_size_select" (fun () ->
+      Obs.annot "stencil" (Obs.Str prog.Stencil.name);
+      let k = List.length prog.Stencil.stmts in
+      let deps = Dep.analyze prog in
+      let cone = Cone.of_deps deps ~dim:0 in
+      let best = ref None in
+      let tried = ref 0 and feasible = ref 0 in
+      List.iter
+        (fun h ->
+          if (h + 1) mod k = 0 then
+            List.iter
+              (fun w0 ->
+                if w0 >= Hexagon.min_w0 ~h cone then
+                  List.iter
+                    (fun wis ->
+                      let w = Array.of_list (w0 :: wis) in
+                      let innermost = w.(Array.length w - 1) in
+                      let aligned =
+                        match require_multiple with
+                        | Some m -> innermost mod m = 0
+                        | None -> true
+                      in
+                      if aligned then begin
+                        incr tried;
+                        Obs.incr "tiling.tilesize_candidates";
+                        let t = Hybrid.make prog ~h ~w in
+                        let stats = tile_stats t in
+                        if stats.footprint_box <= shared_mem_floats then begin
+                          incr feasible;
+                          Obs.incr "tiling.tilesize_feasible";
+                          match !best with
+                          | None -> best := Some { h; w; stats }
+                          | Some b ->
+                              if
+                                stats.ratio < b.stats.ratio -. 1e-12
+                                || (Float.abs (stats.ratio -. b.stats.ratio) <= 1e-12
+                                   && stats.iterations > b.stats.iterations)
+                              then best := Some { h; w; stats }
+                        end
+                      end)
+                    (cartesian wi_candidates))
+              w0_candidates)
+        h_candidates;
+      Obs.annot "candidates_tried" (Obs.Int !tried);
+      Obs.annot "candidates_feasible" (Obs.Int !feasible);
+      (match !best with
+      | Some c ->
+          Obs.annot "chosen_h" (Obs.Int c.h);
+          Obs.annot "chosen_w"
+            (Obs.Str (Fmt.str "%a" Fmt.(array ~sep:(any ",") int) c.w));
+          Obs.annot "chosen_ratio" (Obs.Float c.stats.ratio)
+      | None -> Obs.annot "chosen_h" (Obs.Str "none"));
+      !best)
 
 let pp_stats ppf s =
   Fmt.pf ppf "iters=%d loads=%d stores=%d box=%d ratio=%.4f" s.iterations s.loads

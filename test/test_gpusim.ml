@@ -168,6 +168,26 @@ let test_device_lookup () =
   Alcotest.(check bool) "peak gflops plausible" true
     (Device.peak_gflops Device.gtx470 > 100.0)
 
+let test_zero_denominator_ratios () =
+  (* A kernel that issues no global loads / shared requests must not
+     divide by zero: efficiency is 0 (no useful traffic), conflicts are
+     1 (no replays). *)
+  let c = Counters.create () in
+  Alcotest.(check (float 0.0)) "gld_efficiency on 0 loads" 0.0
+    (Counters.gld_efficiency c);
+  Alcotest.(check (float 0.0)) "shared replays on 0 requests" 1.0
+    (Counters.shared_loads_per_request c)
+
+let test_counters_to_assoc () =
+  let c = Counters.create () in
+  c.gld_inst <- 7;
+  c.shared_load_requests <- 3;
+  let assoc = Counters.to_assoc c in
+  Alcotest.(check int) "gld_inst exported" 7 (List.assoc "gld_inst" assoc);
+  Alcotest.(check int) "shared_load_requests exported" 3 (List.assoc "shared_load_requests" assoc);
+  Alcotest.(check int) "untouched counter is 0" 0 (List.assoc "gst_inst" assoc);
+  Alcotest.(check int) "all 18 counters present" 18 (List.length assoc)
+
 let test_counters_diff () =
   let a = Counters.create () in
   a.gld_inst <- 10;
@@ -195,4 +215,6 @@ let suite =
     Alcotest.test_case "address map" `Quick test_addrmap;
     Alcotest.test_case "device lookup" `Quick test_device_lookup;
     Alcotest.test_case "counters add/diff" `Quick test_counters_diff;
+    Alcotest.test_case "zero-denominator ratios" `Quick test_zero_denominator_ratios;
+    Alcotest.test_case "counters to_assoc" `Quick test_counters_to_assoc;
   ]

@@ -11,4 +11,5 @@ let () =
       ("schemes", Test_schemes.suite);
       ("codegen", Test_codegen.suite);
       ("experiments", Test_experiments.suite);
+      ("obs", Test_obs.suite);
     ]

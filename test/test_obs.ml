@@ -1,0 +1,189 @@
+(* Tests for the lib/obs tracing layer: span nesting/LIFO discipline,
+   disabled no-op behaviour, counter accumulation, and the JSON
+   emitter/parser round trip. *)
+
+module Obs = Hextile_obs.Obs
+module Json = Hextile_obs.Json
+module Counters = Hextile_gpusim.Counters
+
+(* Every test starts from a clean, enabled registry and leaves it
+   disabled so obs state never leaks into other suites. *)
+let with_obs f () =
+  Obs.reset ();
+  Obs.enable ();
+  Fun.protect ~finally:(fun () -> Obs.disable (); Obs.reset ()) f
+
+let test_nested_spans () =
+  Obs.start "outer";
+  Obs.start "inner";
+  Obs.annot "k" (Obs.Int 3);
+  Obs.stop "inner";
+  Obs.stop "outer";
+  match Obs.roots () with
+  | [ { Obs.sname = "outer"; children = [ inner ]; dur_s; _ } ] ->
+      Alcotest.(check string) "child name" "inner" inner.Obs.sname;
+      Alcotest.(check bool) "outer closed" true (dur_s >= 0.0);
+      Alcotest.(check bool) "inner closed" true (inner.Obs.dur_s >= 0.0);
+      Alcotest.(check bool) "annot kept" true
+        (List.mem_assoc "k" inner.Obs.attrs);
+      Alcotest.(check bool)
+        "child starts within parent" true
+        (inner.Obs.start_s >= 0.0)
+  | roots ->
+      Alcotest.failf "expected one root with one child, got %d roots"
+        (List.length roots)
+
+let test_lifo_mismatch () =
+  Obs.start "a";
+  Obs.start "b";
+  Alcotest.check_raises "wrong name"
+    (Invalid_argument "Obs.stop a: innermost open span is b (LIFO order)")
+    (fun () -> Obs.stop "a");
+  Obs.stop "b";
+  Obs.stop "a";
+  Alcotest.check_raises "nothing open"
+    (Invalid_argument "Obs.stop a: no span is open") (fun () -> Obs.stop "a")
+
+let test_span_closes_on_exception () =
+  (try Obs.span "boom" (fun () -> failwith "x") with Failure _ -> ());
+  Alcotest.(check (list string)) "no span left open" [] (Obs.open_spans ());
+  match Obs.roots () with
+  | [ r ] ->
+      Alcotest.(check string) "span recorded" "boom" r.Obs.sname;
+      Alcotest.(check bool) "span closed" true (r.Obs.dur_s >= 0.0)
+  | _ -> Alcotest.fail "expected exactly one root span"
+
+let test_disabled_noop () =
+  Obs.disable ();
+  Obs.start "ghost";
+  Obs.incr "ghost_counter";
+  Obs.annot "k" (Obs.Bool true);
+  Obs.event "e" [];
+  Obs.stop "never_opened" (* must not raise while disabled *);
+  Alcotest.(check int) "counter untouched" 0 (Obs.counter "ghost_counter");
+  Alcotest.(check int) "no spans recorded" 0 (List.length (Obs.roots ()));
+  Obs.enable ()
+
+let test_counter_accumulation () =
+  (* Obs counters accumulate by plain addition, exactly like
+     Counters.add; a start/end snapshot diff must agree with
+     Counters.diff on the same bumps. *)
+  let sim_start = Counters.create () and sim_end = Counters.create () in
+  sim_end.gld_inst <- 5;
+  Obs.incr ~by:5 "gld_inst";
+  sim_end.shared_load_requests <- 2;
+  Obs.incr ~by:2 "shared_load_requests";
+  sim_end.gld_inst <- sim_end.gld_inst + 3;
+  Obs.incr ~by:3 "gld_inst";
+  let delta = Counters.diff sim_end sim_start in
+  Alcotest.(check int) "gld matches diff" delta.gld_inst (Obs.counter "gld_inst");
+  Alcotest.(check int)
+    "shared matches diff" delta.shared_load_requests
+    (Obs.counter "shared_load_requests");
+  let total = Counters.create () in
+  Counters.add total delta;
+  Counters.add total delta;
+  Obs.incr ~by:(Obs.counter "gld_inst") "gld_inst";
+  Alcotest.(check int) "double add matches" total.gld_inst
+    (Obs.counter "gld_inst");
+  Alcotest.(check (list (pair string int)))
+    "counters sorted"
+    [ ("gld_inst", 16); ("shared_load_requests", 2) ]
+    (Obs.counters ())
+
+let test_trace_json_roundtrip () =
+  Obs.span "pipeline" (fun () ->
+      Obs.annot "stencil" (Obs.Str "jacobi2d");
+      Obs.incr ~by:4 "poly.lp_solves";
+      Obs.event "kernel_launch"
+        [ ("kernel", Obs.Str "k0"); ("time_s", Obs.Float 1.5e-6) ];
+      Obs.span "sim" (fun () -> ()));
+  let s = Json.to_string (Obs.to_json ()) in
+  match Json.parse s with
+  | Error e -> Alcotest.failf "trace did not parse: %s" e
+  | Ok doc ->
+      let counters = Option.get (Json.member "counters" doc) in
+      Alcotest.(check (option int))
+        "counter survives" (Some 4)
+        (Option.bind (Json.member "poly.lp_solves" counters) Json.to_int);
+      let spans = Option.get (Json.to_list (Option.get (Json.member "spans" doc))) in
+      Alcotest.(check int) "one root span" 1 (List.length spans);
+      let root = List.hd spans in
+      Alcotest.(check (option string))
+        "span name" (Some "pipeline")
+        (Option.bind (Json.member "name" root) Json.to_str);
+      let events = Option.get (Json.to_list (Option.get (Json.member "events" root))) in
+      Alcotest.(check int) "event recorded" 1 (List.length events)
+
+let test_json_parse_values () =
+  let ok s = Result.get_ok (Json.parse s) in
+  Alcotest.(check bool) "null" true (ok "null" = Json.Null);
+  Alcotest.(check bool) "true" true (ok "true" = Json.Bool true);
+  Alcotest.(check (option int)) "int" (Some (-42)) (Json.to_int (ok "-42"));
+  Alcotest.(check (option (float 1e-9)))
+    "float" (Some 2.5e3)
+    (Json.to_float (ok "2.5e3"));
+  Alcotest.(check (option string))
+    "escapes" (Some "a\"b\\c\n\t\xe2\x82\xac")
+    (Json.to_str (ok {|"a\"b\\c\n\t€"|}));
+  Alcotest.(check bool) "nested" true
+    (ok {| {"a": [1, {"b": null}], "c": ""} |}
+    = Json.Obj
+        [
+          ("a", Json.List [ Json.Int 1; Json.Obj [ ("b", Json.Null) ] ]);
+          ("c", Json.Str "");
+        ]);
+  List.iter
+    (fun bad ->
+      match Json.parse bad with
+      | Ok _ -> Alcotest.failf "accepted malformed input %S" bad
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\" 1}"; "tru"; "\"unterminated"; "1 2"; "nan" ]
+
+let test_json_roundtrip_values () =
+  let docs =
+    [
+      Json.Null;
+      Json.Obj [];
+      Json.List [];
+      Json.Obj
+        [
+          ("s", Json.Str "quote\" backslash\\ control\x01");
+          ("neg", Json.Int (-7));
+          ("f", Json.Float 0.1);
+          ("inner", Json.List [ Json.Bool false; Json.Float 1e-20 ]);
+        ];
+    ]
+  in
+  List.iter
+    (fun d ->
+      List.iter
+        (fun minify ->
+          match Json.parse (Json.to_string ~minify d) with
+          | Ok d' ->
+              Alcotest.(check bool)
+                (Fmt.str "round trip (minify=%b)" minify)
+                true (d = d')
+          | Error e -> Alcotest.failf "round trip failed: %s" e)
+        [ false; true ])
+    docs;
+  (* Non-finite floats degrade to null rather than producing invalid
+     JSON. *)
+  Alcotest.(check bool) "nan -> null" true
+    (Result.get_ok (Json.parse (Json.to_string (Json.Float Float.nan))) = Json.Null)
+
+let suite =
+  [
+    Alcotest.test_case "nested spans" `Quick (with_obs test_nested_spans);
+    Alcotest.test_case "LIFO stop mismatch raises" `Quick (with_obs test_lifo_mismatch);
+    Alcotest.test_case "span closes on exception" `Quick
+      (with_obs test_span_closes_on_exception);
+    Alcotest.test_case "disabled is a no-op" `Quick (with_obs test_disabled_noop);
+    Alcotest.test_case "counter accumulation matches Counters" `Quick
+      (with_obs test_counter_accumulation);
+    Alcotest.test_case "trace JSON round trip" `Quick
+      (with_obs test_trace_json_roundtrip);
+    Alcotest.test_case "JSON parser values" `Quick test_json_parse_values;
+    Alcotest.test_case "JSON printer/parser round trip" `Quick
+      test_json_roundtrip_values;
+  ]
