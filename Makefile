@@ -1,6 +1,6 @@
 # Convenience wrapper; `make check` is what CI runs.
 
-.PHONY: all build test check fmt clean profile-smoke
+.PHONY: all build test check fmt clean profile-smoke fuzz
 
 all: build
 
@@ -13,13 +13,21 @@ test:
 fmt:
 	dune build @fmt --auto-promote 2>/dev/null || true
 
-# Everything CI enforces: a clean build, the full test suite, and a
-# profile report that parses as JSON.
-check: build test profile-smoke
+# Everything CI enforces: a clean build, the full test suite, a
+# profile report that parses as JSON, and the fixed-seed fuzz smoke.
+check: build test profile-smoke fuzz
 
 profile-smoke:
 	dune exec bin/hextile.exe -- profile --builtin jacobi2d -N 64 -T 16 -o _build/prof_smoke.json
 	@python3 -c "import json; json.load(open('_build/prof_smoke.json'))" && echo "profile JSON ok"
+
+# Fixed-seed differential-testing smoke: a clean campaign across all
+# schemes, then a mutation self-test (inject an off-by-one into the
+# hybrid executor's view of each program; the oracle must catch every
+# observable mutant).
+fuzz:
+	dune exec bin/hextile.exe -- fuzz --seed 42 --count 25
+	dune exec bin/hextile.exe -- fuzz --seed 7 --count 12 --mutate hybrid --shrink
 
 clean:
 	dune clean

@@ -1,6 +1,7 @@
 (* hextile — hybrid hexagonal/classical tiling for GPUs, command line.
 
-   Subcommands: parse, deps, tile, codegen, run, profile, tilesize, list. *)
+   Subcommands: parse, deps, tile, codegen, run, profile, tilesize, fuzz,
+   list. *)
 
 open Cmdliner
 module Experiments = Hextile_experiments.Experiments
@@ -347,6 +348,114 @@ let profile_cmd =
       const run $ file_arg $ builtin_arg $ scheme_arg $ device_arg $ n_arg $ t_arg
       $ h_arg $ w_arg $ output_arg)
 
+let fuzz_cmd =
+  let module Check = Hextile_check in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Campaign PRNG seed.")
+  in
+  let count_arg =
+    Arg.(value & opt int 100 & info [ "count" ] ~doc:"Number of generated programs.")
+  in
+  let shrink_arg =
+    Arg.(
+      value & flag
+      & info [ "shrink" ]
+          ~doc:"Greedily shrink each failure to a minimal counterexample.")
+  in
+  let mutate_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "mutate" ] ~docv:"SCHEME"
+          ~doc:
+            "Self-test the harness: run $(docv) on an offset-flipped copy of \
+             each program and count mutants caught vs. missed.")
+  in
+  let schemes_arg =
+    Arg.(
+      value
+      & opt (some (list string)) None
+      & info [ "schemes" ] ~docv:"S1,S2,..."
+          ~doc:"Restrict the differential comparison to these schemes.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:"Write counterexample .c files to $(docv).")
+  in
+  let replay_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:
+            "Instead of fuzzing, re-run the differential oracle on a \
+             counterexample file under -N/-T.")
+  in
+  let replay file mutate schemes device n t =
+    match Hextile_frontend.Front.parse_file file with
+    | Error m ->
+        Fmt.epr "hextile: %s@." m;
+        1
+    | Ok prog -> (
+        let env =
+          List.filter (fun (p, _) -> List.mem p prog.params) [ ("N", n); ("T", t) ]
+        in
+        match Check.Oracle.check ?mutate ?schemes prog env device with
+        | Error m ->
+            Fmt.epr "hextile: %s@." m;
+            1
+        | Ok [] ->
+            Fmt.pr "replay: all schemes agree with the interpreter@.";
+            0
+        | Ok failures ->
+            List.iter (fun f -> Fmt.pr "%a@." Check.Oracle.pp_failure f) failures;
+            1)
+  in
+  let run seed count shrink mutate schemes out replay_file device n t =
+    let unknown =
+      List.filter
+        (fun s -> not (List.mem s Check.Oracle.all_scheme_names))
+        (Option.value schemes ~default:[] @ Option.to_list mutate)
+    in
+    if unknown <> [] then begin
+      Fmt.epr "hextile: unknown scheme(s) %s (available: %s)@."
+        (String.concat ", " unknown)
+        (String.concat ", " Check.Oracle.all_scheme_names);
+      1
+    end
+    else
+      match replay_file with
+      | Some file -> replay file mutate schemes device n t
+      | None ->
+          let cfg =
+            {
+              Check.Fuzz.seed;
+              count;
+              shrink;
+              mutate;
+              schemes;
+              out_dir = out;
+            }
+          in
+          let summary =
+            Check.Fuzz.run ~log:(fun line -> Fmt.epr "%s@." line) cfg device
+          in
+          Fmt.pr "%a@." (Check.Fuzz.pp_summary cfg) summary;
+          if Check.Fuzz.ok cfg summary then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: generate random stencil programs and compare \
+          every scheme executor (and the gpusim sanitizer) against the \
+          reference interpreter.")
+    Term.(
+      const run $ seed_arg $ count_arg $ shrink_arg $ mutate_arg $ schemes_arg
+      $ out_arg $ replay_arg $ device_arg $ n_arg $ t_arg)
+
 let list_cmd =
   (* Diagnostic listing goes to stderr, like all other non-result output,
      so traces piped from stdout stay valid JSON. *)
@@ -374,5 +483,6 @@ let () =
             run_cmd;
             profile_cmd;
             tilesize_cmd;
+            fuzz_cmd;
             list_cmd;
           ]))

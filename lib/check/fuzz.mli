@@ -1,0 +1,72 @@
+(** The fuzzing campaign driver behind [hextile fuzz].
+
+    Each iteration derives an independent PRNG stream from the campaign
+    seed ({!Rng.derive}, so iteration [i] is reproducible in isolation),
+    generates a program + valuation ({!Gen.generate}), and runs the
+    differential oracle ({!Oracle.check}). Failures are optionally shrunk
+    ({!Shrink.shrink}, preserving the first failure's (scheme, kind)
+    signature) and emitted as replayable [.c] counterexample files whose
+    header comments record the seed, iteration and valuation — the
+    frontend skips comments, so the file feeds straight back into
+    [hextile fuzz --replay].
+
+    [mutate] turns the campaign into the harness's self-test: the named
+    scheme runs on an offset-flipped copy of each program and the summary
+    counts mutants caught vs. missed. *)
+
+open Hextile_ir
+open Hextile_gpusim
+
+type config = {
+  seed : int;
+  count : int;
+  shrink : bool;
+  mutate : string option;  (** scheme name to run on a mutated copy *)
+  schemes : string list option;  (** restrict the runner set *)
+  out_dir : string option;  (** where to write counterexample files *)
+}
+
+val default_config : config
+(** seed 42, count 100, shrink off, no mutation, all schemes, no output
+    directory. *)
+
+type failure_case = {
+  f_index : int;  (** iteration that produced it *)
+  f_prog : Stencil.t;  (** after shrinking, when enabled *)
+  f_env : (string * int) list;
+  f_failures : Oracle.failure list;
+  f_shrunk : bool;
+  f_path : string option;  (** counterexample file, when written *)
+}
+
+type summary = {
+  total : int;
+  passed : int;
+  failed : int;
+  skipped : int;  (** mutation or scheme filter not applicable *)
+  caught : int;  (** mutate mode: mutants detected *)
+  missed : int;  (** mutate mode: mutants that slipped through *)
+  cases : failure_case list;  (** first few failures, in order *)
+}
+
+val run : ?log:(string -> unit) -> config -> Device.t -> summary
+(** [log] receives one human-readable line per noteworthy event
+    (failure found, shrink result, skip). *)
+
+val ok : config -> summary -> bool
+(** Exit criterion: without [mutate], no failures; with [mutate], no
+    mutant missed and at least one caught. *)
+
+val pp_summary : config -> summary Fmt.t
+
+val counterexample_source :
+  ?mutate:string ->
+  seed:int ->
+  index:int ->
+  Stencil.t ->
+  (string * int) list ->
+  Oracle.failure list ->
+  string
+(** The replayable [.c] text: header comments (including the exact replay
+    command line, with [--mutate] when the campaign used it) +
+    {!Pretty.to_source}. *)

@@ -1,0 +1,39 @@
+(** Seeded random stencil-program generator.
+
+    Produces well-formed {!Hextile_ir.Stencil.t} values spanning the
+    shapes the executors must handle — 1–3 spatial dimensions, one to
+    three statements, folded (2- or 3-buffer) and in-place storage,
+    symmetric and asymmetric read offsets, cross-statement reads,
+    read-only coefficient arrays, and parameter valuations small enough
+    to include degenerate (empty or single-cell) domains.
+
+    Beyond {!Hextile_ir.Stencil.validate}, generated programs satisfy the
+    semantic envelope in which the reference interpreter and every scheme
+    executor agree ({!well_formed}): a statement's reads of its own
+    array's {e write slot} are exactly the written cell, so instances of
+    one statement at one time step are independent (Jacobi-style), which
+    is what every executor's parallel model assumes. Reads of other
+    slots, other arrays, and cross-statement reads are unrestricted.
+    Domains keep a symmetric per-dimension margin covering the largest
+    absolute offset, so the in-bounds convention ([Analysis.bounds_check])
+    holds for every parameter valuation — and stays intact under
+    {!flip_offset}. *)
+
+open Hextile_ir
+
+val generate : Rng.t -> Stencil.t * (string * int) list
+(** A random program and a matching (N, T) valuation. The result
+    validates, is {!well_formed}, passes [Analysis.bounds_check] under
+    the valuation, and round-trips through [Pretty.to_source] and the
+    frontend. *)
+
+val well_formed : Stencil.t -> (unit, string) result
+(** The semantic envelope described above; implied for generated
+    programs, checked explicitly on shrink candidates. *)
+
+val flip_offset : Stencil.t -> Stencil.t option
+(** Negate the first nonzero spatial offset of the first read that has
+    one — the classic schedule/codegen bug shape. [None] if every read
+    offset is zero. The result stays well-formed and in bounds (margins
+    are symmetric), so executors run it without crashing and the
+    corruption is purely semantic. *)

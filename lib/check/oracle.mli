@@ -1,0 +1,65 @@
+(** Differential executor: the sequential reference interpreter as the
+    oracle for every scheme executor.
+
+    One [check] runs a program through [Interp.run] and through each
+    scheme — the gpusim-executed hybrid pipeline (shared-memory and
+    global-read variants, both under the {!Hextile_gpusim.Sanitize} race
+    checker), [ppcg], [par4all], [overtile], and [split_tiling] where its
+    preconditions hold (1-D, single statement) — then compares final
+    grids cell-exactly (bit compare, so NaNs cannot hide) and the update
+    counts, and collects the sanitizer's findings. *)
+
+open Hextile_ir
+open Hextile_gpusim
+
+type cell_diff = {
+  c_array : string;
+  c_index : int array;  (** full storage index; leading slot if folded *)
+  c_expected : float;
+  c_got : float;
+}
+
+type failure =
+  | Mismatch of {
+      scheme : string;
+      ndiffs : int;  (** total differing cells across all arrays *)
+      diffs : cell_diff list;  (** first few, for the report *)
+      updates_got : int;
+      updates_want : int;
+    }
+  | Crash of { scheme : string; error : string }
+  | Sanitizer of {
+      scheme : string;
+      findings : Sanitize.finding list;
+      dropped : int;
+    }
+
+val scheme_of_failure : failure -> string
+
+val kind_of_failure : failure -> string
+(** ["mismatch"], ["crash"] or ["sanitizer"] — the failure signature used
+    by the shrinker to keep a counterexample failing {e the same way}. *)
+
+val pp_failure : failure Fmt.t
+
+val scheme_names : Stencil.t -> string list
+(** The runner names [check] will execute for this program, in order. *)
+
+val all_scheme_names : string list
+(** The full universe of runner names (some only apply to certain program
+    shapes, e.g. ["split"] to 1-D single-statement programs). *)
+
+val check :
+  ?mutate:string ->
+  ?schemes:string list ->
+  Stencil.t ->
+  (string * int) list ->
+  Device.t ->
+  (failure list, string) result
+(** Run the differential comparison; [Ok []] means every scheme agreed
+    with the interpreter and the sanitizer stayed quiet. [?schemes]
+    restricts the runner set by name. [?mutate] runs the named scheme on
+    an offset-flipped copy of the program ({!Gen.flip_offset}) — the
+    harness's own self-test that an injected schedule bug is caught;
+    [Error _] when the program has no offset to flip or a name is
+    unknown. *)

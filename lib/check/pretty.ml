@@ -1,0 +1,96 @@
+open Hextile_ir
+
+let iter_name d = Fmt.str "i%d" d
+
+(* %.17g prints doubles with enough digits that float_of_string restores
+   the exact value; integral values print without a dot and reparse as
+   Int tokens, which the frontend converts back to the same float. *)
+let pp_float ppf f = Fmt.pf ppf "%.17g" f
+
+let pp_index ppf (d, off) =
+  if off = 0 then Fmt.string ppf (iter_name d)
+  else if off > 0 then Fmt.pf ppf "%s + %d" (iter_name d) off
+  else Fmt.pf ppf "%s - %d" (iter_name d) (-off)
+
+let pp_access (p : Stencil.t) ppf (a : Stencil.access) =
+  let decl = Stencil.array_decl p a.array in
+  Fmt.string ppf a.array;
+  (match decl.fold with
+  | Some m -> Fmt.pf ppf "[(t + %d) %% %d]" a.time_off m
+  | None -> ());
+  Array.iteri (fun d off -> Fmt.pf ppf "[%a]" pp_index (d, off)) a.offsets
+
+(* Fully parenthesised: reparsing rebuilds the identical tree regardless
+   of operator precedence or associativity. *)
+let rec pp_fexpr p ppf (e : Stencil.fexpr) =
+  match e with
+  | Read a -> pp_access p ppf a
+  | Fconst f -> pp_float ppf f
+  | Neg e -> Fmt.pf ppf "(-%a)" (pp_fexpr p) e
+  | Bin (op, l, r) ->
+      let s = match op with Stencil.Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" in
+      Fmt.pf ppf "(%a %s %a)" (pp_fexpr p) l s (pp_fexpr p) r
+
+let pp_decl ppf (a : Stencil.array_decl) =
+  Fmt.pf ppf "float %s" a.aname;
+  (match a.fold with Some m -> Fmt.pf ppf "[%d]" m | None -> ());
+  Array.iter (fun e -> Fmt.pf ppf "[%s]" (Affp.to_string e)) a.extents;
+  Fmt.pf ppf ";@,"
+
+let pp_stmt p ppf (s : Stencil.stmt) =
+  let dims = Array.length s.lo in
+  for d = 0 to dims - 1 do
+    Fmt.pf ppf "%sfor (%s = %s; %s <= %s; %s++)@,"
+      (String.make (2 * (d + 1)) ' ')
+      (iter_name d) (Affp.to_string s.lo.(d)) (iter_name d)
+      (Affp.to_string s.hi.(d)) (iter_name d)
+  done;
+  Fmt.pf ppf "%s%a = %a;@,"
+    (String.make (2 * (dims + 1)) ' ')
+    (pp_access p) s.write (pp_fexpr p) s.rhs
+
+let to_source (p : Stencil.t) =
+  Fmt.str "%a"
+    (fun ppf () ->
+      Fmt.pf ppf "@[<v>";
+      List.iter (pp_decl ppf) p.arrays;
+      Fmt.pf ppf "for (t = 0; t < %s; t++) {@," (Affp.to_string p.steps);
+      List.iter (pp_stmt p ppf) p.stmts;
+      Fmt.pf ppf "}@]@.")
+    ()
+
+(* ---- structural equality ---------------------------------------------- *)
+
+let equal_affp_array a b =
+  Array.length a = Array.length b && Array.for_all2 Affp.equal a b
+
+let equal_access (a : Stencil.access) (b : Stencil.access) =
+  String.equal a.array b.array && a.time_off = b.time_off && a.offsets = b.offsets
+
+let rec equal_fexpr (a : Stencil.fexpr) (b : Stencil.fexpr) =
+  match (a, b) with
+  | Read x, Read y -> equal_access x y
+  | Fconst x, Fconst y -> Float.equal x y
+  | Neg x, Neg y -> equal_fexpr x y
+  | Bin (o1, l1, r1), Bin (o2, l2, r2) ->
+      o1 = o2 && equal_fexpr l1 l2 && equal_fexpr r1 r2
+  | _ -> false
+
+let equal_decl (a : Stencil.array_decl) (b : Stencil.array_decl) =
+  String.equal a.aname b.aname
+  && equal_affp_array a.extents b.extents
+  && a.fold = b.fold
+
+let equal_stmt (a : Stencil.stmt) (b : Stencil.stmt) =
+  (* snames are labels (the frontend renames to S0, S1, ... in order);
+     statement identity is positional *)
+  equal_affp_array a.lo b.lo
+  && equal_affp_array a.hi b.hi
+  && equal_access a.write b.write
+  && equal_fexpr a.rhs b.rhs
+
+let equal_program (a : Stencil.t) (b : Stencil.t) =
+  List.equal String.equal a.params b.params
+  && Affp.equal a.steps b.steps
+  && List.equal equal_decl a.arrays b.arrays
+  && List.equal equal_stmt a.stmts b.stmts

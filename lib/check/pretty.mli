@@ -1,0 +1,21 @@
+(** Print a stencil IR program back to the C subset the frontend parses.
+
+    The output is the canonical form [Lower.program] produces when
+    reparsing: statements in order named [S0, S1, ...], the time loop
+    [for (t = 0; t < T; t++)], spatial iterators [i0..i2] in nest order,
+    buffering indices [(t + c) %% m], fully parenthesised float
+    expressions, and [%.17g] float literals (which round-trip exactly).
+    [Front.parse_string (to_source p)] therefore yields a program
+    structurally equal to [p] whenever [p] is itself in canonical form —
+    which generated programs and the built-in suite are. *)
+
+open Hextile_ir
+
+val to_source : Stencil.t -> string
+
+val equal_program : Stencil.t -> Stencil.t -> bool
+(** Structural equality of two programs: parameters, steps, array
+    declarations (order, extents, folding), and statements (bounds,
+    accesses, right-hand sides — compared positionally). Float constants
+    compare by value. Program and statement names are labels, not
+    semantics, and are ignored. *)

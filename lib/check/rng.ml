@@ -1,0 +1,42 @@
+(* SplitMix64 (Steele, Lea, Flood 2014): a tiny, high-quality, splittable
+   generator. State advances by a Weyl constant; outputs are a mixed copy
+   of the state. *)
+
+type t = { mutable state : int64; seed : int64 }
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let golden = 0x9E3779B97F4A7C15L
+
+let of_state s = { state = s; seed = s }
+let create seed = of_state (mix (Int64.of_int seed))
+
+let next t =
+  t.state <- Int64.add t.state golden;
+  mix t.state
+
+let derive t i = of_state (mix (Int64.add t.seed (mix (Int64.of_int i))))
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next t) 1) (Int64.of_int n))
+
+let in_range t lo hi =
+  if lo > hi then invalid_arg "Rng.in_range: empty range";
+  lo + int t (hi - lo + 1)
+
+let bool t = Int64.logand (next t) 1L = 1L
+
+let float t x =
+  let u = Int64.to_float (Int64.shift_right_logical (next t) 11) in
+  x *. (u /. 9007199254740992.0 (* 2^53 *))
+
+let chance t p = float t 1.0 < p
+
+let pick t xs =
+  match xs with
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | _ -> List.nth xs (int t (List.length xs))

@@ -1,0 +1,32 @@
+(** Deterministic pseudo-random stream for the fuzzer (SplitMix64).
+
+    Self-contained so generated programs are bit-reproducible across OCaml
+    versions and stdlib changes — [Random] makes no such promise. *)
+
+type t
+
+val create : int -> t
+(** A stream seeded by an integer; equal seeds give equal streams. *)
+
+val derive : t -> int -> t
+(** [derive t i] is an independent stream deterministically derived from
+    [t]'s seed and index [i] (used for per-iteration sub-streams, so any
+    failing iteration can be replayed without generating its
+    predecessors). Does not advance [t]. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [0, n); requires [n > 0]. *)
+
+val in_range : t -> int -> int -> int
+(** [in_range t lo hi] is uniform in [lo, hi]; requires [lo <= hi]. *)
+
+val bool : t -> bool
+
+val chance : t -> float -> bool
+(** [chance t p] is true with probability [p]. *)
+
+val float : t -> float -> float
+(** [float t x] is uniform in [0, x). *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. *)

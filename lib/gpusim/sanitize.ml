@@ -1,0 +1,219 @@
+module Obs = Hextile_obs.Obs
+
+type race = {
+  r_launch : string;
+  r_block : int;
+  r_word : int;
+  r_kind : [ `Write_write | `Write_read ];
+  r_tid1 : int;
+  r_tid2 : int;
+}
+
+type divergence = {
+  d_launch : string;
+  d_block : int;
+  d_syncs : int;
+  d_expected : int;
+}
+
+type finding = Race of race | Divergence of divergence
+
+(* Per shared word, within the current barrier interval: the last writer
+   and up to two distinct reader identities. Two reader slots suffice to
+   answer "does a reader other than [tid] exist?" — if the first recorded
+   reader is [tid] itself, any second distinct reader cannot be. *)
+type word_state = {
+  mutable wtid : int;  (** -1: no write yet this interval *)
+  mutable rtid1 : int;
+  mutable rtid2 : int;
+}
+
+let max_recorded = 64
+
+type state = {
+  mutable on : bool;
+  mutable found : finding list;  (** newest first *)
+  mutable nfound : int;
+  mutable launch_name : string;
+  mutable block : int;
+  mutable in_block : bool;
+  mutable syncs : int;  (** barriers of the current block *)
+  mutable expected_syncs : int;  (** -1 until the launch's first block ends *)
+  mutable fresh_tid : int;  (** synthetic identities, negative and unique *)
+  words : (int, word_state) Hashtbl.t;
+}
+
+let st =
+  {
+    on = false;
+    found = [];
+    nfound = 0;
+    launch_name = "";
+    block = -1;
+    in_block = false;
+    syncs = 0;
+    expected_syncs = -1;
+    fresh_tid = -2;
+    words = Hashtbl.create 1024;
+  }
+
+let enabled () = st.on
+
+let reset_launch_state () =
+  st.launch_name <- "";
+  st.block <- -1;
+  st.in_block <- false;
+  st.syncs <- 0;
+  st.expected_syncs <- -1;
+  Hashtbl.reset st.words
+
+let reset () =
+  st.found <- [];
+  st.nfound <- 0;
+  st.fresh_tid <- -2;
+  reset_launch_state ()
+
+let enable () =
+  st.on <- true;
+  reset ()
+
+let disable () =
+  st.on <- false;
+  reset ()
+
+let findings () = List.rev st.found
+let dropped () = max 0 (st.nfound - max_recorded)
+
+let pp_finding ppf = function
+  | Race r ->
+      Fmt.pf ppf "%s race in %s block %d: shared word %d, threads %d and %d"
+        (match r.r_kind with
+        | `Write_write -> "write/write"
+        | `Write_read -> "write/read")
+        r.r_launch r.r_block r.r_word r.r_tid1 r.r_tid2
+  | Divergence d ->
+      Fmt.pf ppf
+        "barrier divergence in %s: block %d ran %d barriers, the launch's \
+         first-executed block ran %d"
+        d.d_launch d.d_block d.d_syncs d.d_expected
+
+let record f =
+  st.nfound <- st.nfound + 1;
+  if st.nfound <= max_recorded then st.found <- f :: st.found;
+  if Obs.enabled () then
+    match f with
+    | Race r ->
+        Obs.event "sanitizer_race"
+          [
+            ("kind",
+             Obs.Str
+               (match r.r_kind with
+               | `Write_write -> "write_write"
+               | `Write_read -> "write_read"));
+            ("launch", Obs.Str r.r_launch);
+            ("block", Obs.Int r.r_block);
+            ("word", Obs.Int r.r_word);
+            ("tid1", Obs.Int r.r_tid1);
+            ("tid2", Obs.Int r.r_tid2);
+          ]
+    | Divergence d ->
+        Obs.event "sanitizer_divergence"
+          [
+            ("launch", Obs.Str d.d_launch);
+            ("block", Obs.Int d.d_block);
+            ("syncs", Obs.Int d.d_syncs);
+            ("expected", Obs.Int d.d_expected);
+          ]
+
+let launch_begin ~name =
+  if st.on then begin
+    reset_launch_state ();
+    st.launch_name <- name
+  end
+
+let block_begin b =
+  if st.on then begin
+    st.block <- b;
+    st.in_block <- true;
+    st.syncs <- 0;
+    Hashtbl.reset st.words
+  end
+
+let block_end () =
+  if st.on && st.in_block then begin
+    (if st.expected_syncs < 0 then st.expected_syncs <- st.syncs
+     else if st.syncs <> st.expected_syncs then
+       record
+         (Divergence
+            {
+              d_launch = st.launch_name;
+              d_block = st.block;
+              d_syncs = st.syncs;
+              d_expected = st.expected_syncs;
+            }));
+    st.in_block <- false;
+    Hashtbl.reset st.words
+  end
+
+let launch_end () = if st.on then reset_launch_state ()
+
+let barrier () =
+  if st.on && st.in_block then begin
+    st.syncs <- st.syncs + 1;
+    Hashtbl.reset st.words
+  end
+
+let race_at word kind tid other =
+  record
+    (Race
+       {
+         r_launch = st.launch_name;
+         r_block = st.block;
+         r_word = word;
+         r_kind = kind;
+         r_tid1 = other;
+         r_tid2 = tid;
+       })
+
+(* [none] marks an empty identity slot; real identities are caller tids
+   (any int except [none]) or fresh negative synthetics. *)
+let none = min_int
+
+let word_state w =
+  match Hashtbl.find_opt st.words w with
+  | Some s -> s
+  | None ->
+      let s = { wtid = none; rtid1 = none; rtid2 = none } in
+      Hashtbl.replace st.words w s;
+      s
+
+let access ~write ?tids addrs =
+  if st.on && st.in_block then
+    Array.iteri
+      (fun i a ->
+        match a with
+        | None -> ()
+        | Some w ->
+            let tid =
+              match tids with
+              | Some t when i < Array.length t -> t.(i)
+              | _ ->
+                  st.fresh_tid <- st.fresh_tid - 1;
+                  st.fresh_tid
+            in
+            let s = word_state w in
+            if write then begin
+              if s.wtid <> none && s.wtid <> tid then
+                race_at w `Write_write tid s.wtid;
+              (if s.rtid1 <> none then
+                 if s.rtid1 <> tid then race_at w `Write_read tid s.rtid1
+                 else if s.rtid2 <> none then race_at w `Write_read tid s.rtid2);
+              s.wtid <- tid
+            end
+            else begin
+              if s.wtid <> none && s.wtid <> tid then
+                race_at w `Write_read tid s.wtid;
+              if s.rtid1 = none then s.rtid1 <- tid
+              else if s.rtid1 <> tid && s.rtid2 = none then s.rtid2 <- tid
+            end)
+      addrs

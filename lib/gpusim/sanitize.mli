@@ -1,0 +1,76 @@
+(** Shared-memory race and barrier-divergence sanitizer for the GPU
+    simulator.
+
+    When enabled, {!Sim} reports every shared-memory access (with an
+    optional per-lane thread identity), every [__syncthreads] barrier and
+    the block/launch structure here. The sanitizer checks, per block of a
+    launch:
+
+    - {b write/write races}: two different threads store to the same
+      shared word within one barrier interval;
+    - {b write/read races}: a thread stores to a shared word that a
+      different thread loads within the same barrier interval (in either
+      order — without a barrier between them the CUDA model gives the
+      read no defined value);
+    - {b barrier divergence}: two blocks of the same launch execute a
+      different number of barriers, the trace-level shadow of
+      [__syncthreads] under divergent control flow.
+
+    Accesses by the {e same} thread are never racy (a thread may read its
+    own cell and overwrite it). Lanes without a thread identity are given
+    a fresh synthetic one, which errs towards reporting.
+
+    The sanitizer is a process-global, explicitly enabled mode (mirroring
+    {!Hextile_obs.Obs}): scheme executors stay oblivious, and the fuzz
+    harness switches it on around the runs it wants audited. Findings are
+    recorded here and additionally emitted as [Obs] events
+    ([sanitizer_race] / [sanitizer_divergence]) when tracing is on. *)
+
+type race = {
+  r_launch : string;
+  r_block : int;
+  r_word : int;  (** shared-memory word index within the block *)
+  r_kind : [ `Write_write | `Write_read ];
+  r_tid1 : int;
+  r_tid2 : int;
+}
+
+type divergence = {
+  d_launch : string;
+  d_block : int;
+  d_syncs : int;  (** barriers this block executed *)
+  d_expected : int;  (** barriers the launch's first block executed *)
+}
+
+type finding = Race of race | Divergence of divergence
+
+val enable : unit -> unit
+val disable : unit -> unit
+val enabled : unit -> bool
+
+val reset : unit -> unit
+(** Clear recorded findings and all per-launch state. *)
+
+val findings : unit -> finding list
+(** Findings recorded since the last [reset], in detection order.
+    Recording is capped (see [dropped]); detection itself is not. *)
+
+val dropped : unit -> int
+(** Findings beyond the recording cap (counted, not stored). *)
+
+val pp_finding : finding Fmt.t
+
+(** {2 Simulator hooks} — called by {!Sim}; no-ops when disabled. *)
+
+val launch_begin : name:string -> unit
+val block_begin : int -> unit
+val block_end : unit -> unit
+val launch_end : unit -> unit
+val barrier : unit -> unit
+
+val access :
+  write:bool -> ?tids:int array -> int option array -> unit
+(** One warp-level shared-memory access: [tids.(i)] is the thread
+    identity of lane [i] (parallel to the word-index array; lanes with
+    [None] addresses are ignored). Without [tids], every lane gets a
+    fresh synthetic identity. *)

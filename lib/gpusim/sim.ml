@@ -100,18 +100,20 @@ let bank_transactions dev addrs =
     addrs;
   Array.fold_left (fun m l -> max m (List.length l)) 0 per_bank
 
-let shared_load_warp ?(replay = 1) t addrs =
+let shared_load_warp ?(replay = 1) ?tids t addrs =
   let n = active addrs in
   if n > 0 then begin
+    if Sanitize.enabled () then Sanitize.access ~write:false ?tids addrs;
     let c = t.total in
     c.shared_load_requests <- c.shared_load_requests + 1;
     c.shared_load_transactions <-
       c.shared_load_transactions + (replay * max 1 (bank_transactions t.dev addrs))
   end
 
-let shared_store_warp ?(replay = 1) t addrs =
+let shared_store_warp ?(replay = 1) ?tids t addrs =
   let n = active addrs in
   if n > 0 then begin
+    if Sanitize.enabled () then Sanitize.access ~write:true ?tids addrs;
     let c = t.total in
     c.shared_store_requests <- c.shared_store_requests + 1;
     c.shared_store_transactions <-
@@ -121,7 +123,9 @@ let shared_store_warp ?(replay = 1) t addrs =
 let flops_warp t ~active ~per_lane =
   if active > 0 then t.total.flops <- t.total.flops + (active * per_lane)
 
-let sync t = t.total.syncs <- t.total.syncs + 1
+let sync t =
+  if Sanitize.enabled () then Sanitize.barrier ();
+  t.total.syncs <- t.total.syncs + 1
 
 let occupancy (dev : Device.t) ~blocks =
   if blocks <= 0 then 1.0
@@ -206,12 +210,16 @@ let launch t ~name ~blocks ~threads ~shared_bytes ~f =
   if blocks > 0 then begin
     let before = Counters.copy t.total in
     t.blocks_in_flight <- blocks;
+    if Sanitize.enabled () then Sanitize.launch_begin ~name;
     Array.iter
       (fun b ->
         (* fresh per-block L1 (Fermi L1 is per SM and not coherent) *)
         L2.reset t.l1;
-        f b)
+        if Sanitize.enabled () then Sanitize.block_begin b;
+        f b;
+        if Sanitize.enabled () then Sanitize.block_end ())
       (scrambled blocks);
+    if Sanitize.enabled () then Sanitize.launch_end ();
     t.blocks_in_flight <- 0;
     t.total.kernels <- t.total.kernels + 1;
     let delta = Counters.diff t.total before in

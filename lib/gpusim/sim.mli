@@ -46,7 +46,9 @@ val launch :
   unit
 (** Run a kernel: [f block_id] once per block (scrambled order). Raises
     [Invalid_argument] if [threads] or [shared_bytes] exceed the device
-    limits. *)
+    limits. When {!Sanitize.enabled}, the launch/block structure is
+    reported to the sanitizer, which checks shared-memory races between
+    barriers and barrier-count uniformity across blocks. *)
 
 (** {2 Warp-level events} — call from inside [f]. Address arrays have one
     entry per lane ([None] = inactive lane) and at most [warp_size]
@@ -58,11 +60,14 @@ val global_store_warp : ?serial:bool -> t -> int option array -> unit
 (** [serial] marks stores of a dedicated copy-out phase; their time is
     added on top of the roofline rather than overlapped. *)
 
-val shared_load_warp : ?replay:int -> t -> int option array -> unit
+val shared_load_warp : ?replay:int -> ?tids:int array -> t -> int option array -> unit
 (** [replay] multiplies the bank-conflict transaction count (models
-    layout-induced replays that the address trace alone cannot see). *)
+    layout-induced replays that the address trace alone cannot see).
+    [tids] gives each lane's thread identity to the {!Sanitize} race
+    checker (parallel to the address array); ignored unless the sanitizer
+    is enabled. *)
 
-val shared_store_warp : ?replay:int -> t -> int option array -> unit
+val shared_store_warp : ?replay:int -> ?tids:int array -> t -> int option array -> unit
 val flops_warp : t -> active:int -> per_lane:int -> unit
 val sync : t -> unit
 

@@ -52,6 +52,47 @@ let footprint_floats (p : Stencil.t) env =
       acc + (spatial * match a.fold with Some m -> m | None -> 1))
     0 p.arrays
 
+(* The out-of-domain convention shared by the reference interpreter and
+   every scheme executor: a program whose domains can drive any access
+   outside its array's extents is a program error, rejected up front with
+   the same diagnostic everywhere. Because every access is affine with
+   unit iterator coefficients, it suffices to check the two extreme domain
+   corners of each statement. Empty domains (lo > hi) touch nothing and
+   are always accepted. *)
+let bounds_check (p : Stencil.t) env =
+  let ( let* ) = Result.bind in
+  let fail fmt = Fmt.kstr (fun m -> Error m) fmt in
+  let check_access (s : Stencil.stmt) (a : Stencil.access) =
+    let decl = Stencil.array_decl p a.array in
+    let n = Array.length a.offsets in
+    let rec dim d =
+      if d = n then Ok ()
+      else
+        let lo = Affp.eval s.lo.(d) env and hi = Affp.eval s.hi.(d) env in
+        if lo > hi then Ok () (* empty domain: no instance exists *)
+        else
+          let ext = Affp.eval decl.extents.(d) env in
+          let cmin = lo + a.offsets.(d) and cmax = hi + a.offsets.(d) in
+          if cmin < 0 || cmax >= ext then
+            fail
+              "statement %s: access to %s out of bounds (dim %d: index range \
+               %d..%d, extent %d)"
+              s.sname a.array d cmin cmax ext
+          else dim (d + 1)
+    in
+    dim 0
+  in
+  List.fold_left
+    (fun acc (s : Stencil.stmt) ->
+      let* () = acc in
+      let* () = check_access s s.write in
+      List.fold_left
+        (fun acc a ->
+          let* () = acc in
+          check_access s a)
+        (Ok ()) (Stencil.reads s))
+    (Ok ()) p.stmts
+
 let pp ppf t =
   Fmt.pf ppf "@[<v>%s (%dD): data=%a steps=%a@," t.program t.spatial_dims Affp.pp
     t.data_points Affp.pp t.steps;

@@ -20,4 +20,15 @@ val data_size_string : Stencil.t -> string
 val footprint_floats : Stencil.t -> (string -> int) -> int
 (** Total float elements allocated across all arrays (folds included). *)
 
+val bounds_check : Stencil.t -> (string -> int) -> (unit, string) result
+(** The out-of-domain convention shared by the reference interpreter and
+    the scheme executors: every access of every domain instance must fall
+    inside its array's extents, so out-of-domain reads are a rejected
+    program error rather than a value choice (no clamping, no wrapping).
+    [Interp.run] and [Common.make_ctx] both enforce this check with the
+    same message; differential testing hence never compares executions
+    that disagree about boundary values. Checks the two extreme corners
+    of each (statement, access) pair under the given parameter valuation;
+    empty domains pass vacuously. *)
+
 val pp : t Fmt.t

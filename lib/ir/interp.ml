@@ -47,6 +47,12 @@ let domain_bounds (s : Stencil.stmt) env =
     Array.map (fun e -> Affp.eval e env) s.hi )
 
 let run (prog : Stencil.t) env =
+  (* Out-of-domain accesses are a program error, rejected up front by the
+     shared convention check so the interpreter and the scheme executors
+     (Common.make_ctx) agree exactly on which programs execute at all. *)
+  (match Analysis.bounds_check prog env with
+  | Ok () -> ()
+  | Error m -> invalid_arg ("Interp.run: " ^ m));
   let tbl = Grid.alloc prog env in
   let steps = Affp.eval prog.steps env in
   for t = 0 to steps - 1 do

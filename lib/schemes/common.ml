@@ -28,6 +28,11 @@ let make_ctx (prog : Stencil.t) env dev =
   (match Stencil.validate prog with
   | Ok () -> ()
   | Error m -> invalid_arg ("Common.make_ctx: " ^ m));
+  (* Same out-of-domain convention (and diagnostic) as Interp.run: any
+     reachable out-of-bounds access is rejected before execution. *)
+  (match Analysis.bounds_check prog env with
+  | Ok () -> ()
+  | Error m -> invalid_arg ("Common.make_ctx: " ^ m));
   let stmts = Array.of_list prog.stmts in
   {
     sim = Sim.create dev;
@@ -187,6 +192,22 @@ end
 
 let warp_size = 32
 
+(* Thread identity handed to the race sanitizer: the virtual thread that
+   owns a domain cell, encoded injectively from its spatial point (the
+   executors assign one lane per cell along x). Identities only need to
+   be equal exactly when two warp events come from the same cell's lane. *)
+let tid_of_point (point : int array) x =
+  let h = ref 0 in
+  for d = 0 to Array.length point - 2 do
+    h := (!h * 8191) + point.(d) + 64
+  done;
+  (!h * 8191) + x + 64
+
+let lane_tids point lane_xs =
+  if Sanitize.enabled () then
+    Some (Array.map (fun x -> tid_of_point point x) lane_xs)
+  else None
+
 (* Full index of a spatial point in a possibly folded grid. *)
 let full_index (g : Grid.t) ~slot point =
   match g.decl.fold with
@@ -261,6 +282,7 @@ let exec_stmt_row ctx ~stmt ~tstep ~point ~xs ?read_value ?write_value
     chunks_of xs (fun lane_xs ->
         let nlanes = Array.length lane_xs in
         let dx0 = lane_xs.(0) - x0 in
+        let tids = lane_tids point lane_xs in
         (* loads *)
         if global_reads then
           List.iter
@@ -271,14 +293,14 @@ let exec_stmt_row ctx ~stmt ~tstep ~point ~xs ?read_value ?write_value
         else
           List.iter
             (fun base ->
-              Sim.shared_load_warp ~replay:shared_replay ctx.sim
+              Sim.shared_load_warp ~replay:shared_replay ?tids ctx.sim
                 (Array.init nlanes (fun i -> Some (base + dx0 + i))))
             read_bases;
         (* arithmetic *)
         Sim.flops_warp ctx.sim ~active:nlanes ~per_lane:nflops;
         (* store accounting *)
         if use_shared then
-          Sim.shared_store_warp ~replay:shared_replay ctx.sim
+          Sim.shared_store_warp ~replay:shared_replay ?tids ctx.sim
             (Array.init nlanes (fun i -> Some (wbase_shared + dx0 + i)));
         if interleave_store || not use_shared then
           Sim.global_store_warp ctx.sim
@@ -323,9 +345,10 @@ let load_box_rows ctx ~grid ~slot ~box ~skip_x ~shared_addr =
         let gbase = Addrmap.addr ctx.sim.addr grid (flat grid ~slot row) in
         let sbase = shared_addr row in
         chunks_of xs (fun lane_xs ->
+            let tids = lane_tids row lane_xs in
             Sim.global_load_warp ctx.sim
               (Array.map (fun x -> Some (gbase + (4 * (x - xlo)))) lane_xs);
-            Sim.shared_store_warp ctx.sim
+            Sim.shared_store_warp ?tids ctx.sim
               (Array.map (fun x -> Some (sbase + x - xlo)) lane_xs))
       end)
 
@@ -338,16 +361,21 @@ let shared_copy_rows ctx ~box ~shared_addr =
         row.(xdim) <- xlo;
         let sbase = shared_addr row in
         chunks_of xs (fun lane_xs ->
+            (* one lane moves one word: load and store share identities *)
+            let tids = lane_tids row lane_xs in
             let saddrs = Array.map (fun x -> Some (sbase + x - xlo)) lane_xs in
-            Sim.shared_load_warp ctx.sim saddrs;
-            Sim.shared_store_warp ctx.sim saddrs)
+            Sim.shared_load_warp ?tids ctx.sim saddrs;
+            Sim.shared_store_warp ?tids ctx.sim saddrs)
       end)
 
 let store_cells ctx ~grid ~cells ~via_shared =
   let arr = Array.of_list cells in
   chunks_of arr (fun lane_cells ->
       if via_shared then
-        Sim.shared_load_warp ctx.sim (Array.map (fun c -> Some c) lane_cells);
+        Sim.shared_load_warp
+          ?tids:(if Sanitize.enabled () then Some lane_cells else None)
+          ctx.sim
+          (Array.map (fun c -> Some c) lane_cells);
       Sim.global_store_warp ~serial:true ctx.sim
         (Array.map (fun c -> Some (Addrmap.addr ctx.sim.addr grid c)) lane_cells))
 

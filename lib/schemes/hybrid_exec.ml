@@ -280,11 +280,13 @@ let run ?(name = "hybrid") ?config prog env dev =
     (* compute *)
     let replay = match strat.reuse with Static -> 2 | _ -> 1 in
     let pending_sync = ref false in
+    let nsteps = ref 0 in
     let copyout : (string, int list ref) Hashtbl.t = Hashtbl.create 4 in
     iter_tile ~u0 ~s00 ~cls
       ~on_step:(fun () ->
         if !pending_sync then Sim.sync ctx.sim;
-        pending_sync := true)
+        pending_sync := true;
+        incr nsteps)
       ~on_row:(fun ~stmt ~tstep ~point ~xs ->
         Common.exec_stmt_row ctx ~stmt ~tstep ~point ~xs
           ?loads_subset:(loads_subset_of stmt)
@@ -322,6 +324,15 @@ let run ?(name = "hybrid") ?config prog env dev =
             xs
         end);
     if !pending_sync then Sim.sync ctx.sim;
+    (* The perf path skips barriers for steps with no work, so blocks at
+       the domain boundary legitimately run fewer syncs. Under the
+       sanitizer we model the real kernel's unconditional per-step
+       __syncthreads instead, so the barrier-divergence check holds
+       without boundary false positives. *)
+    if Sanitize.enabled () then
+      for _ = !nsteps + 1 to height do
+        Sim.sync ctx.sim
+      done;
     (* copy-out *)
     if strat.use_shared && not strat.interleave then
       Hashtbl.iter

@@ -259,6 +259,32 @@ let prop_roundtrip_random_stencil =
           let a = Interp.run parsed env and b = Interp.run direct env in
           Grid.equal (Grid.find a "A") (Grid.find b "A"))
 
+(* Structural round-trips through the Pretty printer: the canonical form
+   Lower produces is a fixed point of print-then-parse, for the built-in
+   suite and for fuzzer-generated programs alike. *)
+let test_pretty_roundtrip_suite () =
+  List.iter
+    (fun (prog : Stencil.t) ->
+      let src = Hextile_check.Pretty.to_source prog in
+      match Front.parse_string ~name:prog.name src with
+      | Error m -> Alcotest.failf "%s: reparse failed: %s\n%s" prog.name m src
+      | Ok parsed ->
+          if not (Hextile_check.Pretty.equal_program prog parsed) then
+            Alcotest.failf "%s: print/parse not structural:\n%s" prog.name src)
+    Hextile_stencils.Suite.all
+
+let test_pretty_roundtrip_generated () =
+  let rng = Hextile_check.Rng.create 2024 in
+  for i = 0 to 19 do
+    let prog, _ = Hextile_check.Gen.generate (Hextile_check.Rng.derive rng i) in
+    let src = Hextile_check.Pretty.to_source prog in
+    match Front.parse_string ~name:"gen" src with
+    | Error m -> Alcotest.failf "iteration %d: reparse failed: %s\n%s" i m src
+    | Ok parsed ->
+        if not (Hextile_check.Pretty.equal_program prog parsed) then
+          Alcotest.failf "iteration %d: print/parse not structural:\n%s" i src
+  done
+
 let suite =
   [
     Alcotest.test_case "lexer tokens" `Quick test_lexer;
@@ -274,4 +300,8 @@ let suite =
     Alcotest.test_case "3D source" `Quick test_parse_all_benchmark_sources;
     Alcotest.test_case "triple buffering (%3)" `Quick test_fold3;
     QCheck_alcotest.to_alcotest prop_roundtrip_random_stencil;
+    Alcotest.test_case "pretty round-trip (suite)" `Quick
+      test_pretty_roundtrip_suite;
+    Alcotest.test_case "pretty round-trip (generated)" `Quick
+      test_pretty_roundtrip_generated;
   ]

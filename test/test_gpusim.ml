@@ -197,6 +197,116 @@ let test_counters_diff () =
   Counters.add a b;
   Alcotest.(check int) "add" 35 a.gld_inst
 
+(* ---- race / barrier sanitizer ----------------------------------------- *)
+
+let with_sanitizer f =
+  Sanitize.reset ();
+  Sanitize.enable ();
+  Fun.protect ~finally:(fun () -> Sanitize.disable ()) f
+
+let races () =
+  List.filter_map
+    (function Sanitize.Race r -> Some r | Sanitize.Divergence _ -> None)
+    (Sanitize.findings ())
+
+let divergences () =
+  List.filter_map
+    (function Sanitize.Divergence d -> Some d | Sanitize.Race _ -> None)
+    (Sanitize.findings ())
+
+let lane_pair w1 w2 =
+  Array.init 32 (fun i -> if i = 0 then Some w1 else if i = 1 then Some w2 else None)
+
+let tid_pair t1 t2 =
+  Array.init 32 (fun i -> if i = 0 then t1 else if i = 1 then t2 else 0)
+
+let lane_one w = Array.init 32 (fun i -> if i = 0 then Some w else None)
+let tid_one t = Array.make 32 t
+
+let test_sanitizer_ww_race () =
+  with_sanitizer (fun () ->
+      let s = mk_sim () in
+      Sim.launch s ~name:"k" ~blocks:1 ~threads:32 ~shared_bytes:256
+        ~f:(fun _ ->
+          (* lanes 0 and 1 both store word 5, no barrier between *)
+          Sim.shared_store_warp s ~tids:(tid_pair 1 2) (lane_pair 5 5));
+      match races () with
+      | [ r ] ->
+          Alcotest.(check bool) "write/write" true (r.r_kind = `Write_write);
+          Alcotest.(check int) "word" 5 r.r_word
+      | rs -> Alcotest.failf "expected 1 race, got %d" (List.length rs))
+
+let test_sanitizer_wr_race_and_barrier () =
+  (* store then load of the same word by different threads: a race
+     without a barrier in between, silent with one *)
+  let run_with_barrier b =
+    with_sanitizer (fun () ->
+        let s = mk_sim () in
+        Sim.launch s ~name:"k" ~blocks:1 ~threads:32 ~shared_bytes:256
+          ~f:(fun _ ->
+            Sim.shared_store_warp s ~tids:(tid_one 1) (lane_one 7);
+            if b then Sim.sync s;
+            Sim.shared_load_warp s ~tids:(tid_one 2) (lane_one 7));
+        List.length (races ()))
+  in
+  Alcotest.(check int) "no barrier: 1 race" 1 (run_with_barrier false);
+  Alcotest.(check int) "barrier: no race" 0 (run_with_barrier true)
+
+let test_sanitizer_same_tid_ok () =
+  with_sanitizer (fun () ->
+      let s = mk_sim () in
+      Sim.launch s ~name:"k" ~blocks:1 ~threads:32 ~shared_bytes:256
+        ~f:(fun _ ->
+          (* one thread reads its own cell and overwrites it: fine *)
+          Sim.shared_load_warp s ~tids:(tid_one 9) (lane_one 3);
+          Sim.shared_store_warp s ~tids:(tid_one 9) (lane_one 3));
+      Alcotest.(check int) "no race" 0 (List.length (races ())))
+
+let test_sanitizer_synthetic_tids () =
+  with_sanitizer (fun () ->
+      let s = mk_sim () in
+      Sim.launch s ~name:"k" ~blocks:1 ~threads:32 ~shared_bytes:256
+        ~f:(fun _ ->
+          (* without identities every lane is assumed distinct: the
+             store/load pair on word 0 must be flagged *)
+          Sim.shared_store_warp s (lane_pair 0 1);
+          Sim.shared_load_warp s (lane_pair 0 1));
+      Alcotest.(check bool) "reported" true (List.length (races ()) >= 1))
+
+let test_sanitizer_divergence () =
+  with_sanitizer (fun () ->
+      let s = mk_sim () in
+      Sim.launch s ~name:"k" ~blocks:2 ~threads:32 ~shared_bytes:0
+        ~f:(fun b ->
+          Sim.sync s;
+          if b = 0 then Sim.sync s);
+      match divergences () with
+      | [ d ] ->
+          Alcotest.(check bool) "counts differ" true (d.d_syncs <> d.d_expected);
+          Alcotest.(check bool) "counts are 1 and 2" true
+            (List.sort compare [ d.d_syncs; d.d_expected ] = [ 1; 2 ])
+      | ds -> Alcotest.failf "expected 1 divergence, got %d" (List.length ds))
+
+let test_sanitizer_disabled_and_reset () =
+  Sanitize.reset ();
+  Alcotest.(check bool) "disabled by default" false (Sanitize.enabled ());
+  let s = mk_sim () in
+  Sim.launch s ~name:"k" ~blocks:1 ~threads:32 ~shared_bytes:256 ~f:(fun _ ->
+      Sim.shared_store_warp s ~tids:(tid_pair 1 2) (lane_pair 5 5));
+  Alcotest.(check int) "no findings while disabled" 0
+    (List.length (Sanitize.findings ()));
+  with_sanitizer (fun () ->
+      let s = mk_sim () in
+      Sim.launch s ~name:"k" ~blocks:1 ~threads:32 ~shared_bytes:256
+        ~f:(fun _ ->
+          Sim.shared_store_warp s ~tids:(tid_pair 1 2) (lane_pair 5 5));
+      Alcotest.(check int) "finding recorded" 1
+        (List.length (Sanitize.findings ()));
+      Alcotest.(check int) "none dropped" 0 (Sanitize.dropped ());
+      Sanitize.reset ();
+      Alcotest.(check int) "reset clears" 0
+        (List.length (Sanitize.findings ())))
+
 let suite =
   [
     Alcotest.test_case "coalesced warp load" `Quick test_coalesced_load;
@@ -217,4 +327,16 @@ let suite =
     Alcotest.test_case "counters add/diff" `Quick test_counters_diff;
     Alcotest.test_case "zero-denominator ratios" `Quick test_zero_denominator_ratios;
     Alcotest.test_case "counters to_assoc" `Quick test_counters_to_assoc;
+    Alcotest.test_case "sanitizer write/write race" `Quick
+      test_sanitizer_ww_race;
+    Alcotest.test_case "sanitizer write/read race vs barrier" `Quick
+      test_sanitizer_wr_race_and_barrier;
+    Alcotest.test_case "sanitizer same-thread access ok" `Quick
+      test_sanitizer_same_tid_ok;
+    Alcotest.test_case "sanitizer synthetic identities" `Quick
+      test_sanitizer_synthetic_tids;
+    Alcotest.test_case "sanitizer barrier divergence" `Quick
+      test_sanitizer_divergence;
+    Alcotest.test_case "sanitizer disabled/reset" `Quick
+      test_sanitizer_disabled_and_reset;
   ]

@@ -28,7 +28,7 @@ let test_validate_rejects () =
   let bad =
     {
       Suite.heat1d with
-      stmts =
+      Stencil.stmts =
         List.map
           (fun (s : Stencil.stmt) ->
             { s with write = { s.write with array = "nonexistent" } })
@@ -166,6 +166,62 @@ let test_footprint () =
   Alcotest.(check int) "fdtd2d footprint" 1200
     (Analysis.footprint_floats Suite.fdtd2d (test_env Suite.fdtd2d))
 
+(* The shared out-of-domain convention: accesses must stay inside the
+   declared extents for the whole domain — programs that do not are
+   rejected up front (no clamping or wrapping anywhere), so the
+   interpreter and every scheme executor agree on boundary semantics by
+   construction. *)
+let test_bounds_check () =
+  List.iter
+    (fun prog ->
+      match Analysis.bounds_check prog (test_env prog) with
+      | Ok () -> ()
+      | Error m ->
+          Alcotest.failf "%s rejected: %s" prog.Stencil.name m)
+    Suite.all;
+  (* heat1d with its margin removed reads A[i-1] at i = 0 *)
+  let bad =
+    {
+      Suite.heat1d with
+      Stencil.stmts =
+        List.map
+          (fun (s : Stencil.stmt) -> { s with lo = [| Affp.const 0 |] })
+          Suite.heat1d.stmts;
+    }
+  in
+  (match Analysis.bounds_check bad (test_env Suite.heat1d) with
+  | Ok () -> Alcotest.fail "expected an out-of-bounds rejection"
+  | Error m ->
+      Alcotest.(check bool) "mentions the array and dim" true
+        (let has sub =
+           let n = String.length sub in
+           let rec go i =
+             i + n <= String.length m && (String.sub m i n = sub || go (i + 1))
+           in
+           go 0
+         in
+         has "out of bounds" && has "dim 0"));
+  match Interp.run bad (test_env Suite.heat1d) with
+  | _ -> Alcotest.fail "Interp.run accepted an out-of-domain read"
+  | exception Invalid_argument _ -> ()
+
+(* Empty domains (lo > hi) have no instances to read out of bounds:
+   vacuously fine under any extents. *)
+let test_bounds_check_empty_domain () =
+  let empty =
+    {
+      Suite.heat1d with
+      Stencil.stmts =
+        List.map
+          (fun (s : Stencil.stmt) ->
+            { s with lo = [| Affp.const 5 |]; hi = [| Affp.const 1 |] })
+          Suite.heat1d.stmts;
+    }
+  in
+  match Analysis.bounds_check empty (test_env Suite.heat1d) with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "empty domain rejected: %s" m
+
 let test_affp_pp_negative () =
   Alcotest.(check string) "leading negative" "-N + 3"
     (Affp.to_string (Affp.add_const (Affp.scale (-1) (Affp.param "N")) 3));
@@ -201,6 +257,9 @@ let suite =
     Alcotest.test_case "interp runs all benchmarks" `Quick test_interp_runs;
     Alcotest.test_case "stencil_updates" `Quick test_stencil_updates;
     Alcotest.test_case "footprint" `Quick test_footprint;
+    Alcotest.test_case "bounds convention" `Quick test_bounds_check;
+    Alcotest.test_case "bounds on empty domains" `Quick
+      test_bounds_check_empty_domain;
     Alcotest.test_case "affp printing (negatives)" `Quick test_affp_pp_negative;
     Alcotest.test_case "stencil printing" `Quick test_stencil_pp;
   ]

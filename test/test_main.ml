@@ -9,6 +9,7 @@ let () =
       ("frontend", Test_frontend.suite);
       ("gpusim", Test_gpusim.suite);
       ("schemes", Test_schemes.suite);
+      ("check", Test_check.suite);
       ("codegen", Test_codegen.suite);
       ("experiments", Test_experiments.suite);
       ("obs", Test_obs.suite);

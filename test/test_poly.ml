@@ -168,6 +168,49 @@ let prop_count_matches_brute_force =
       done;
       Polyhedron.count p = !brute)
 
+(* FM projection agrees exactly with brute-force shadow computation when
+   every constraint's coefficient on the eliminated variable is in
+   {-1, 0, 1}: each combined pair then has a unit pivot, so the rational
+   projection has no integer "dark shadow" gap. Random small 3D
+   polyhedra, eliminating z. *)
+let arb_unit_z_constrs =
+  QCheck.(
+    list_of_size (Gen.int_range 1 5)
+      (quad (int_range (-3) 3) (int_range (-3) 3) (int_range (-1) 1)
+         (int_range (-6) 6)))
+
+let prop_fm_exact_unit_coeff =
+  QCheck.Test.make
+    ~name:"FM projection = brute-force shadow (unit z coefficients)"
+    ~count:200 arb_unit_z_constrs (fun cs ->
+      let sp = Space.make [ "x"; "y"; "z" ] in
+      let b = 5 in
+      let box3 =
+        List.concat_map
+          (fun d ->
+            let pos = Array.init 3 (fun i -> if i = d then 1 else 0) in
+            let neg = Array.init 3 (fun i -> if i = d then -1 else 0) in
+            [ Constr.ge pos b; Constr.ge neg b ])
+          [ 0; 1; 2 ]
+      in
+      let p =
+        Polyhedron.make sp
+          (box3 @ List.map (fun (a, c, z, k) -> Constr.ge [| a; c; z |] k) cs)
+      in
+      let proj = Polyhedron.eliminate_keep p 2 in
+      let shadow_brute x y =
+        let rec go z = z <= b && (Polyhedron.contains p [| x; y; z |] || go (z + 1)) in
+        go (-b)
+      in
+      let ok = ref true in
+      for x = -b to b do
+        for y = -b to b do
+          if Polyhedron.contains proj [| x; y; 0 |] <> shadow_brute x y then
+            ok := false
+        done
+      done;
+      !ok)
+
 let prop_lp_bounds_enumeration =
   QCheck.Test.make ~name:"LP max dominates every integer point" ~count:200
     arb_constrs (fun cs ->
@@ -234,6 +277,7 @@ let suite =
     Alcotest.test_case "qmap" `Quick test_qmap;
     QCheck_alcotest.to_alcotest prop_fm_sound;
     QCheck_alcotest.to_alcotest prop_count_matches_brute_force;
+    QCheck_alcotest.to_alcotest prop_fm_exact_unit_coeff;
     QCheck_alcotest.to_alcotest prop_lp_bounds_enumeration;
     QCheck_alcotest.to_alcotest prop_qaff_simplify_preserves;
     QCheck_alcotest.to_alcotest prop_qaff_affine_roundtrip;

@@ -292,6 +292,56 @@ let test_select_alignment () =
   | None -> Alcotest.fail "expected a choice"
   | Some c -> Alcotest.(check int) "innermost aligned" 8 c.w.(1)
 
+(* Selection is a pure function of the program and candidate lists: two
+   runs must agree choice-for-choice, and the reported ratio must equal a
+   recomputation of loads/iterations from the chosen tiling. *)
+let test_select_deterministic () =
+  let sel () =
+    Tile_size.select Suite.heat2d ~h_candidates:[ 1; 3; 5 ]
+      ~w0_candidates:[ 2; 4; 6 ] ~wi_candidates:[ [ 8; 16; 32 ] ]
+      ~shared_mem_floats:4096 ()
+  in
+  match (sel (), sel ()) with
+  | Some a, Some b ->
+      Alcotest.(check int) "same h" a.h b.h;
+      Alcotest.(check (array int)) "same w" a.w b.w;
+      Alcotest.(check int) "same iterations" a.stats.iterations
+        b.stats.iterations;
+      Alcotest.(check (float 0.0)) "same ratio" a.stats.ratio b.stats.ratio
+  | _ -> Alcotest.fail "expected a feasible choice"
+
+let test_select_ratio_recomputed () =
+  match
+    Tile_size.select Suite.heat2d ~h_candidates:[ 1; 3 ] ~w0_candidates:[ 2; 4 ]
+      ~wi_candidates:[ [ 8; 16 ] ] ~shared_mem_floats:4096 ()
+  with
+  | None -> Alcotest.fail "expected a feasible choice"
+  | Some c ->
+      let s = Tile_size.tile_stats (Hybrid.make Suite.heat2d ~h:c.h ~w:c.w) in
+      Alcotest.(check int) "loads reproduced" s.loads c.stats.loads;
+      Alcotest.(check int) "iterations reproduced" s.iterations
+        c.stats.iterations;
+      Alcotest.(check (float 1e-12)) "ratio = loads/iterations"
+        (float_of_int s.loads /. float_of_int s.iterations)
+        c.stats.ratio;
+      (* the winner's ratio is minimal among all feasible candidates *)
+      List.iter
+        (fun h ->
+          List.iter
+            (fun w0 ->
+              List.iter
+                (fun w1 ->
+                  match Hybrid.make Suite.heat2d ~h ~w:[| w0; w1 |] with
+                  | exception Invalid_argument _ -> ()
+                  | t ->
+                      let s = Tile_size.tile_stats t in
+                      if s.footprint_box <= 4096 then
+                        Alcotest.(check bool) "no better ratio exists" true
+                          (s.ratio >= c.stats.ratio -. 1e-12))
+                [ 8; 16 ])
+            [ 2; 4 ])
+        [ 1; 3 ]
+
 let test_select_infeasible () =
   Alcotest.(check bool) "tiny budget -> None" true
     (Tile_size.select Suite.heat2d ~h_candidates:[ 1 ] ~w0_candidates:[ 2 ]
@@ -402,6 +452,9 @@ let suite =
     Alcotest.test_case "tile size selection" `Quick test_select;
     Alcotest.test_case "selection warp alignment" `Quick test_select_alignment;
     Alcotest.test_case "selection infeasible budget" `Quick test_select_infeasible;
+    Alcotest.test_case "selection deterministic" `Quick test_select_deterministic;
+    Alcotest.test_case "selection ratio recomputed" `Quick
+      test_select_ratio_recomputed;
     Alcotest.test_case "renders" `Quick test_render;
     QCheck_alcotest.to_alcotest prop_hybrid_legality_random_sizes;
     Alcotest.test_case "diamond count variability (Sec 5)" `Quick test_diamond_counts;
