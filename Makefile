@@ -1,6 +1,6 @@
 # Convenience wrapper; `make check` is what CI runs.
 
-.PHONY: all build test check fmt clean profile-smoke fuzz
+.PHONY: all build test check fmt clean profile-smoke fuzz bench
 
 all: build
 
@@ -28,6 +28,15 @@ profile-smoke:
 fuzz:
 	dune exec bin/hextile.exe -- fuzz --seed 42 --count 25
 	dune exec bin/hextile.exe -- fuzz --seed 7 --count 12 --mutate hybrid --shrink
+
+# Parallel-runtime benchmark: times the Table 12 suite at jobs=1 vs
+# jobs=N (default 4) and records the comparison in BENCH_par.json.
+# Fails if the parallel rows differ from the sequential ones, so this
+# doubles as a determinism check. Speedup depends on physical cores.
+JOBS ?= 4
+bench:
+	dune exec bench/main.exe -- --only parcmp --jobs $(JOBS) --json BENCH_par.json
+	@python3 -c "import json; d=json.load(open('BENCH_par.json'))['experiments']['parcmp']; print('parcmp: jobs=%d speedup=%.2fx identical=%s' % (d['jobs'], d['speedup'], d['identical']))"
 
 clean:
 	dune clean

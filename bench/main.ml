@@ -9,6 +9,10 @@
      dune exec bench/main.exe -- --no-micro   -- skip Bechamel timings
      dune exec bench/main.exe -- --json out.json
                                               -- also write results as JSON
+     dune exec bench/main.exe -- --jobs 4     -- worker domains for the
+                                                 parallel runtime
+     dune exec bench/main.exe -- --only parcmp --jobs 4 --json BENCH_par.json
+                                              -- jobs=1 vs jobs=N comparison
 
    With --json every selected experiment contributes a machine-readable
    entry keyed by its id: structured rows for the performance tables
@@ -18,6 +22,7 @@
 
 module Experiments = Hextile_experiments.Experiments
 module Json = Hextile_obs.Json
+module Par = Hextile_par.Par
 open Hextile_gpusim
 open Hextile_stencils
 
@@ -56,23 +61,23 @@ let fig6 () =
 
 let table3 () = fig_text "Table 3: stencil characteristics" Experiments.table3_text
 
-let table1 ~quick () =
+let table1 ~pool ~quick () =
   section "Table 1: GStencils/second on (scaled) GTX 470";
-  let rows = Experiments.table12 ~quick Device.gtx470 in
+  let rows = Experiments.table12 ~pool ~quick Device.gtx470 in
   Experiments.pp_table12 Device.gtx470 Fmt.stdout rows;
-  print_string (Experiments.patus_note ~quick Device.gtx470);
+  print_string (Experiments.patus_note ~pool ~quick Device.gtx470);
   Experiments.table12_json Device.gtx470 rows
 
-let table2 ~quick () =
+let table2 ~pool ~quick () =
   section "Table 2: GStencils/second on (scaled) NVS 5200M";
-  let rows = Experiments.table12 ~quick Device.nvs5200m in
+  let rows = Experiments.table12 ~pool ~quick Device.nvs5200m in
   Experiments.pp_table12 Device.nvs5200m Fmt.stdout rows;
   Experiments.table12_json Device.nvs5200m rows
 
-let tables45 ~quick () =
+let tables45 ~pool ~quick () =
   section "Table 4: shared-memory optimization ladder (heat 3D, GFLOPS)";
-  let gtx = Experiments.ladder ~quick Device.gtx470 in
-  let nvs = Experiments.ladder ~quick Device.nvs5200m in
+  let gtx = Experiments.ladder ~pool ~quick Device.gtx470 in
+  let nvs = Experiments.ladder ~pool ~quick Device.nvs5200m in
   Experiments.pp_table4 Fmt.stdout [ (Device.nvs5200m, nvs); (Device.gtx470, gtx) ];
   section "Table 5: performance counters (heat 3D ladder)";
   Experiments.pp_table5 Fmt.stdout (Device.gtx470, gtx);
@@ -93,13 +98,47 @@ let split1d ~quick () =
   fig_text "1D degenerate case: hexagonal vs split tiling" (fun () ->
       Experiments.split1d_text ~quick Device.gtx470)
 
-let ablate ~quick () =
+let ablate ~pool ~quick () =
   section "Ablation: time-tile height h (hybrid, heat 2D, GTX 470)";
-  let sweep = Experiments.h_sweep ~quick Device.gtx470 Hextile_stencils.Suite.heat2d in
+  let sweep =
+    Experiments.h_sweep ~pool ~quick Device.gtx470 Hextile_stencils.Suite.heat2d
+  in
   List.iter
     (fun (h, g) -> Fmt.pr "h=%d (%d time steps/tile): %.2f GStencils/s@." h ((2 * h) + 2) g)
     sweep;
   Experiments.h_sweep_json sweep
+
+(* ---- parallel-runtime benchmark: jobs=1 vs jobs=N -------------------- *)
+
+(* Wall-clock comparison of the full table12 sim suite sequentially vs
+   fanned out over the pool, plus a bit-exactness check of the rows —
+   the bench-level witness of the determinism contract. The JSON lands
+   in BENCH_par.json via `make bench`. *)
+let parcmp ~jobs ~quick () =
+  section (Fmt.str "Parallel runtime: table12 suite, jobs=1 vs jobs=%d" jobs);
+  let timed j =
+    Par.with_pool ~jobs:j @@ fun pool ->
+    let t0 = Unix.gettimeofday () in
+    let rows = Experiments.table12 ~pool ~quick Device.gtx470 in
+    (rows, Unix.gettimeofday () -. t0)
+  in
+  let rows1, t1 = timed 1 in
+  let rows_n, tn = timed jobs in
+  let identical = rows1 = rows_n in
+  let speedup = t1 /. tn in
+  Fmt.pr "jobs=1: %.3f s@.jobs=%d: %.3f s@.speedup: %.2fx@.rows identical: %b@."
+    t1 jobs tn speedup identical;
+  if not identical then
+    failwith "parcmp: parallel table12 rows differ from sequential";
+  Json.Obj
+    [
+      ("jobs", Json.Int jobs);
+      ("t1_s", Json.Float t1);
+      ("tN_s", Json.Float tn);
+      ("speedup", Json.Float speedup);
+      ("identical", Json.Bool identical);
+      ("rows", Experiments.table12_json Device.gtx470 rows_n);
+    ]
 
 (* ---- Bechamel micro-benchmarks: one per table/figure driver ---------- *)
 
@@ -177,6 +216,7 @@ let () =
   let only = ref []
   and quick = ref true
   and do_micro = ref true
+  and jobs = ref (Par.recommended_jobs ())
   and json_out = ref None in
   let rec parse = function
     | [] -> ()
@@ -189,17 +229,24 @@ let () =
     | "--no-micro" :: rest ->
         do_micro := false;
         parse rest
+    | "--jobs" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some j when j >= 1 -> jobs := j
+        | _ -> Fmt.epr "--jobs expects a positive integer, got %s@." n);
+        parse rest
     | "--json" :: f :: rest ->
         json_out := Some f;
         parse rest
     | x :: rest ->
         Fmt.epr
-          "unknown argument %s (expected --only <id> | --full | --no-micro | --json <file>)@."
+          "unknown argument %s (expected --only <id> | --full | --no-micro | \
+           --jobs <n> | --json <file>)@."
           x;
         parse rest
   in
   parse (List.tl (Array.to_list Sys.argv));
-  let quick = !quick in
+  let quick = !quick and jobs = !jobs in
+  Par.with_pool ~jobs @@ fun pool ->
   let all =
     [
       ("fig1", fig1);
@@ -210,18 +257,24 @@ let () =
       ("fig6", fig6);
       ("table3", table3);
       ("tilesize", tilesize);
-      ("ablate", ablate ~quick);
+      ("ablate", ablate ~pool ~quick);
       ("diamond", diamond);
       ("split1d", split1d ~quick);
-      ("table1", table1 ~quick);
-      ("table2", table2 ~quick);
-      ("table45", tables45 ~quick);
+      ("table1", table1 ~pool ~quick);
+      ("table2", table2 ~pool ~quick);
+      ("table45", tables45 ~pool ~quick);
+      ("parcmp", parcmp ~jobs ~quick);
       ("micro", micro);
     ]
   in
   let selected =
     match !only with
-    | [] -> List.filter (fun id -> id <> "micro") (List.map fst all)
+    | [] ->
+        (* micro has its own timing loop and parcmp spawns its own pools;
+           both run only on request *)
+        List.filter
+          (fun id -> id <> "micro" && id <> "parcmp")
+          (List.map fst all)
     | l ->
         List.concat_map
           (fun x -> if x = "table4" || x = "table5" then [ "table45" ] else [ x ])

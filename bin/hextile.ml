@@ -7,6 +7,7 @@ open Cmdliner
 module Experiments = Hextile_experiments.Experiments
 module Obs = Hextile_obs.Obs
 module Json = Hextile_obs.Json
+module Par = Hextile_par.Par
 open Hextile_ir
 open Hextile_deps
 open Hextile_tiling
@@ -65,6 +66,17 @@ let device_arg =
     & info [ "device" ] ~doc:"Device model: gtx470 or nvs5200.")
 
 let env_of ~n ~t p = match p with "N" -> n | "T" -> t | _ -> raise Not_found
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Par.recommended_jobs ())
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the parallel runtime (default: the \
+           machine's recommended domain count). All outputs are \
+           bit-identical for every value; $(docv)=1 takes the exact \
+           sequential code path.")
 
 let trace_arg =
   Arg.(
@@ -178,11 +190,12 @@ let scheme_arg =
     & info [ "scheme" ] ~doc:"Tiling scheme to execute.")
 
 let run_cmd =
-  let run file builtin scheme dev n t trace =
+  let run file builtin scheme dev n t trace jobs =
     with_prog file builtin (fun prog ->
         with_trace trace (fun () ->
+            Par.with_pool ~jobs @@ fun pool ->
             let env = [ ("N", n); ("T", t) ] in
-            match Experiments.run_scheme scheme prog env dev with
+            match Experiments.run_scheme ~pool scheme prog env dev with
             | r ->
                 Fmt.pr "%s on %s, N=%d T=%d: verified OK@." r.scheme prog.name n t;
                 Fmt.pr "updates            %d@." r.updates;
@@ -200,16 +213,17 @@ let run_cmd =
        ~doc:"Simulate a scheme on the GPU model and verify against the reference.")
     Term.(
       const run $ file_arg $ builtin_arg $ scheme_arg $ device_arg $ n_arg $ t_arg
-      $ trace_arg)
+      $ trace_arg $ jobs_arg)
 
 let tilesize_cmd =
-  let run file builtin trace =
+  let run file builtin trace jobs =
     with_prog file builtin (fun prog ->
         with_trace trace (fun () ->
+            Par.with_pool ~jobs @@ fun pool ->
             let dims = Stencil.spatial_dims prog in
             let wi = List.init (dims - 1) (fun d -> if d = dims - 2 then [ 32; 64 ] else [ 4; 6; 10 ]) in
             match
-              Tile_size.select prog ~h_candidates:[ 1; 2; 3; 5 ]
+              Tile_size.select ~pool prog ~h_candidates:[ 1; 2; 3; 5 ]
                 ~w0_candidates:[ 2; 4; 7; 8 ] ~wi_candidates:wi
                 ~shared_mem_floats:(48 * 1024 / 4)
                 ~require_multiple:(if dims > 1 then 32 else 1) ()
@@ -223,7 +237,7 @@ let tilesize_cmd =
   in
   Cmd.v
     (Cmd.info "tilesize" ~doc:"Select tile sizes by load-to-compute ratio (Sec 3.7).")
-    Term.(const run $ file_arg $ builtin_arg $ trace_arg)
+    Term.(const run $ file_arg $ builtin_arg $ trace_arg $ jobs_arg)
 
 (* ---- profile: the whole pipeline under one trace ----------------------- *)
 
@@ -260,7 +274,7 @@ let timeline_of_trace () =
   List.rev !entries
 
 let profile_cmd =
-  let run file builtin scheme dev n t h w output =
+  let run file builtin scheme dev n t h w output jobs =
     Obs.reset ();
     Obs.enable ();
     let loaded =
@@ -309,7 +323,11 @@ let profile_cmd =
                 Obs.annot (s.sname ^ ".core_loads") (Obs.Int l.loads);
                 Obs.annot (s.sname ^ ".core_ops") (Obs.Int l.arith))
               prog.stmts);
-        match Obs.span "sim" (fun () -> Experiments.run_scheme scheme prog env dev) with
+        match
+          Obs.span "sim" (fun () ->
+              Par.with_pool ~jobs (fun pool ->
+                  Experiments.run_scheme ~pool scheme prog env dev))
+        with
         | exception Failure m ->
             Fmt.epr "hextile: %s@." m;
             1
@@ -346,7 +364,7 @@ let profile_cmd =
           the tracing layer and emit a single nvprof-style JSON profile.")
     Term.(
       const run $ file_arg $ builtin_arg $ scheme_arg $ device_arg $ n_arg $ t_arg
-      $ h_arg $ w_arg $ output_arg)
+      $ h_arg $ w_arg $ output_arg $ jobs_arg)
 
 let fuzz_cmd =
   let module Check = Hextile_check in
@@ -394,7 +412,7 @@ let fuzz_cmd =
             "Instead of fuzzing, re-run the differential oracle on a \
              counterexample file under -N/-T.")
   in
-  let replay file mutate schemes device n t =
+  let replay ~pool file mutate schemes device n t =
     match Hextile_frontend.Front.parse_file file with
     | Error m ->
         Fmt.epr "hextile: %s@." m;
@@ -403,7 +421,7 @@ let fuzz_cmd =
         let env =
           List.filter (fun (p, _) -> List.mem p prog.params) [ ("N", n); ("T", t) ]
         in
-        match Check.Oracle.check ?mutate ?schemes prog env device with
+        match Check.Oracle.check ~pool ?mutate ?schemes prog env device with
         | Error m ->
             Fmt.epr "hextile: %s@." m;
             1
@@ -414,7 +432,7 @@ let fuzz_cmd =
             List.iter (fun f -> Fmt.pr "%a@." Check.Oracle.pp_failure f) failures;
             1)
   in
-  let run seed count shrink mutate schemes out replay_file device n t =
+  let run seed count shrink mutate schemes out replay_file device n t jobs =
     let unknown =
       List.filter
         (fun s -> not (List.mem s Check.Oracle.all_scheme_names))
@@ -427,8 +445,9 @@ let fuzz_cmd =
       1
     end
     else
+      Par.with_pool ~jobs @@ fun pool ->
       match replay_file with
-      | Some file -> replay file mutate schemes device n t
+      | Some file -> replay ~pool file mutate schemes device n t
       | None ->
           let cfg =
             {
@@ -441,7 +460,9 @@ let fuzz_cmd =
             }
           in
           let summary =
-            Check.Fuzz.run ~log:(fun line -> Fmt.epr "%s@." line) cfg device
+            Check.Fuzz.run ~pool
+              ~log:(fun line -> Fmt.epr "%s@." line)
+              cfg device
           in
           Fmt.pr "%a@." (Check.Fuzz.pp_summary cfg) summary;
           if Check.Fuzz.ok cfg summary then 0 else 1
@@ -454,7 +475,7 @@ let fuzz_cmd =
           reference interpreter.")
     Term.(
       const run $ seed_arg $ count_arg $ shrink_arg $ mutate_arg $ schemes_arg
-      $ out_arg $ replay_arg $ device_arg $ n_arg $ t_arg)
+      $ out_arg $ replay_arg $ device_arg $ n_arg $ t_arg $ jobs_arg)
 
 let list_cmd =
   (* Diagnostic listing goes to stderr, like all other non-result output,

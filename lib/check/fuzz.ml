@@ -1,4 +1,5 @@
 open Hextile_ir
+module Par = Hextile_par.Par
 
 type config = {
   seed : int;
@@ -59,7 +60,19 @@ let counterexample_source ?mutate ~seed ~index prog env failures =
   Buffer.add_string b (Pretty.to_source prog);
   Buffer.contents b
 
+(* [--out some/nested/dir] must work whether or not the directory exists
+   yet (regression: [open_out] used to crash on the first missing
+   component). *)
+let rec mkdir_p dir =
+  if dir <> "" && not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    try Sys.mkdir dir 0o755
+    with Sys_error _ when Sys.file_exists dir -> ()
+  end
+
 let write_counterexample ?mutate dir ~seed ~index prog env failures =
+  mkdir_p dir;
   let path =
     Filename.concat dir (Fmt.str "counterexample_s%d_i%d.c" seed index)
   in
@@ -108,24 +121,24 @@ let still_fails_like cfg dev f0 prog env =
           Oracle.scheme_of_failure f = scheme && Oracle.kind_of_failure f = kind)
         fs
 
-let run ?(log = ignore) cfg dev =
-  let rng = Rng.create cfg.seed in
-  let summary =
-    ref
-      {
-        total = 0;
-        passed = 0;
-        failed = 0;
-        skipped = 0;
-        caught = 0;
-        missed = 0;
-        cases = [];
-      }
-  in
-  let bump f = summary := f !summary in
-  for i = 0 to cfg.count - 1 do
+(* One iteration's result, computed without touching the summary or the
+   filesystem so that iterations can run on any domain. Log lines are
+   collected in order and replayed by the (sequential, index-ordered)
+   aggregation step — [--jobs N] and [--jobs 1] produce the same lines. *)
+type iter_fail = {
+  d_prog : Stencil.t;  (** after shrinking, when enabled *)
+  d_env : (string * int) list;
+  d_failures : Oracle.failure list;
+  d_shrunk : bool;
+}
+
+type iter_outcome = Skip | Pass | Fail of iter_fail
+
+let compute_iteration cfg dev rng i =
+  let lines = ref [] in
+  let log s = lines := s :: !lines in
+  let outcome =
     let prog, env = Gen.generate (Rng.derive rng i) in
-    bump (fun s -> { s with total = s.total + 1 });
     let names = Oracle.scheme_names prog in
     let applicable =
       match cfg.schemes with
@@ -138,11 +151,11 @@ let run ?(log = ignore) cfg dev =
       | Some m -> List.mem m names && mutation_effective prog env
     in
     if not (applicable && mutate_ok) then begin
-      bump (fun s -> { s with skipped = s.skipped + 1 });
       log
         (Fmt.str "iteration %d: skipped (%s)" i
            (if applicable then "no offset to flip or scheme not applicable"
-            else "scheme filter not applicable to this program"))
+            else "scheme filter not applicable to this program"));
+      Skip
     end
     else
       let schemes =
@@ -150,24 +163,13 @@ let run ?(log = ignore) cfg dev =
       in
       match Oracle.check ?mutate:cfg.mutate ?schemes prog env dev with
       | Error m ->
-          bump (fun s -> { s with skipped = s.skipped + 1 });
-          log (Fmt.str "iteration %d: skipped (%s)" i m)
+          log (Fmt.str "iteration %d: skipped (%s)" i m);
+          Skip
       | Ok [] ->
-          bump (fun s ->
-              {
-                s with
-                passed = s.passed + 1;
-                missed = (s.missed + if cfg.mutate <> None then 1 else 0);
-              });
           if cfg.mutate <> None then
-            log (Fmt.str "iteration %d: mutant MISSED" i)
+            log (Fmt.str "iteration %d: mutant MISSED" i);
+          Pass
       | Ok failures ->
-          bump (fun s ->
-              {
-                s with
-                failed = s.failed + 1;
-                caught = (s.caught + if cfg.mutate <> None then 1 else 0);
-              });
           let f0 = List.hd failures in
           log
             (Fmt.str "iteration %d: %s failure on %s%s" i
@@ -200,36 +202,87 @@ let run ?(log = ignore) cfg dev =
               (p', e', fs', true)
             end
           in
-          let path =
-            Option.map
-              (fun dir ->
-                let p =
-                  write_counterexample ?mutate:cfg.mutate dir ~seed:cfg.seed
-                    ~index:i prog env failures
-                in
-                log (Fmt.str "iteration %d: counterexample written to %s" i p);
-                p)
-              cfg.out_dir
-          in
-          bump (fun s ->
-              if List.length s.cases >= max_kept_cases then s
-              else
-                {
-                  s with
-                  cases =
-                    s.cases
-                    @ [
-                        {
-                          f_index = i;
-                          f_prog = prog;
-                          f_env = env;
-                          f_failures = failures;
-                          f_shrunk = shrunk;
-                          f_path = path;
-                        };
-                      ];
-                })
-  done;
+          Fail { d_prog = prog; d_env = env; d_failures = failures; d_shrunk = shrunk }
+  in
+  (outcome, List.rev !lines)
+
+let run ?pool ?(log = ignore) cfg dev =
+  let rng = Rng.create cfg.seed in
+  let summary =
+    ref
+      {
+        total = 0;
+        passed = 0;
+        failed = 0;
+        skipped = 0;
+        caught = 0;
+        missed = 0;
+        cases = [];
+      }
+  in
+  let bump f = summary := f !summary in
+  (* Sequential, index-ordered aggregation: streams logs, writes
+     counterexamples and folds the summary — identical for every jobs
+     value because outcomes arrive indexed. *)
+  let absorb i (outcome, lines) =
+    bump (fun s -> { s with total = s.total + 1 });
+    List.iter log lines;
+    match outcome with
+    | Skip -> bump (fun s -> { s with skipped = s.skipped + 1 })
+    | Pass ->
+        bump (fun s ->
+            {
+              s with
+              passed = s.passed + 1;
+              missed = (s.missed + if cfg.mutate <> None then 1 else 0);
+            })
+    | Fail { d_prog = prog; d_env = env; d_failures = failures; d_shrunk } ->
+        bump (fun s ->
+            {
+              s with
+              failed = s.failed + 1;
+              caught = (s.caught + if cfg.mutate <> None then 1 else 0);
+            });
+        let path =
+          Option.map
+            (fun dir ->
+              let p =
+                write_counterexample ?mutate:cfg.mutate dir ~seed:cfg.seed
+                  ~index:i prog env failures
+              in
+              log (Fmt.str "iteration %d: counterexample written to %s" i p);
+              p)
+            cfg.out_dir
+        in
+        bump (fun s ->
+            if List.length s.cases >= max_kept_cases then s
+            else
+              {
+                s with
+                cases =
+                  s.cases
+                  @ [
+                      {
+                        f_index = i;
+                        f_prog = prog;
+                        f_env = env;
+                        f_failures = failures;
+                        f_shrunk = d_shrunk;
+                        f_path = path;
+                      };
+                    ];
+              })
+  in
+  let indices = Array.init cfg.count Fun.id in
+  (match pool with
+  | Some p when Par.jobs p > 1 && not (Par.in_region ()) ->
+      (* all iterations computed in parallel, then absorbed in order *)
+      let outcomes = Par.map p (compute_iteration cfg dev rng) indices in
+      Array.iteri (fun i o -> absorb i o) outcomes
+  | _ ->
+      (* jobs = 1: compute and absorb strictly interleaved, so logs
+         stream as the campaign progresses — the historical behaviour *)
+      Array.iter (fun i -> absorb i (compute_iteration cfg dev rng i)) indices);
   !summary
 
 let ok cfg s =

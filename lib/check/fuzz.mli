@@ -49,9 +49,21 @@ type summary = {
   cases : failure_case list;  (** first few failures, in order *)
 }
 
-val run : ?log:(string -> unit) -> config -> Device.t -> summary
+val run :
+  ?pool:Hextile_par.Par.pool ->
+  ?log:(string -> unit) ->
+  config ->
+  Device.t ->
+  summary
 (** [log] receives one human-readable line per noteworthy event
-    (failure found, shrink result, skip). *)
+    (failure found, shrink result, skip). [?pool] distributes iterations
+    across domains: each iteration already derives an independent PRNG
+    stream, its result (including shrinking) is computed in isolation,
+    and a sequential index-ordered aggregation step replays log lines,
+    writes counterexample files and folds the summary — so the summary,
+    every log line and every file are identical for all [--jobs] values.
+    The counterexample directory (and missing parents) is created on
+    demand. *)
 
 val ok : config -> summary -> bool
 (** Exit criterion: without [mutate], no failures; with [mutate], no

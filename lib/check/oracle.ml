@@ -94,7 +94,12 @@ let split_config prog =
 type runner = {
   rname : string;
   sanitize : bool;  (** run under the gpusim race/barrier sanitizer *)
-  run : Stencil.t -> (string -> int) -> Device.t -> Common.result;
+  run :
+    ?pool:Hextile_par.Par.pool ->
+    Stencil.t ->
+    (string -> int) ->
+    Device.t ->
+    Common.result;
 }
 
 (* The sanitizer only understands the hybrid pipeline's barrier structure
@@ -111,36 +116,36 @@ let runners prog =
         rname = "hybrid";
         sanitize = true;
         run =
-          (fun p env dev ->
-            Hybrid_exec.run ~config:(hybrid_config p) p env dev);
+          (fun ?pool p env dev ->
+            Hybrid_exec.run ?pool ~config:(hybrid_config p) p env dev);
       };
       {
         rname = "hybrid-global";
         sanitize = true;
         run =
-          (fun p env dev ->
+          (fun ?pool p env dev ->
             let config =
               {
                 (hybrid_config p) with
                 Hybrid_exec.strategy = Hybrid_exec.strategy_of_step 'a';
               }
             in
-            Hybrid_exec.run ~config p env dev);
+            Hybrid_exec.run ?pool ~config p env dev);
       };
       {
         rname = "ppcg";
         sanitize = false;
-        run = (fun p env dev -> Ppcg.run p env dev);
+        run = (fun ?pool p env dev -> Ppcg.run ?pool p env dev);
       };
       {
         rname = "par4all";
         sanitize = false;
-        run = (fun p env dev -> Par4all.run p env dev);
+        run = (fun ?pool p env dev -> Par4all.run ?pool p env dev);
       };
       {
         rname = "overtile";
         sanitize = false;
-        run = (fun p env dev -> Overtile.run p env dev);
+        run = (fun ?pool p env dev -> Overtile.run ?pool p env dev);
       };
     ]
   in
@@ -151,8 +156,8 @@ let runners prog =
           rname = "split";
           sanitize = false;
           run =
-            (fun p env dev ->
-              Split_tiling.run ~config:(split_config p) p env dev);
+            (fun ?pool p env dev ->
+              Split_tiling.run ?pool ~config:(split_config p) p env dev);
         };
       ]
   else base
@@ -204,7 +209,7 @@ let compare_grids prog (reference : (string, Grid.t) Hashtbl.t)
     prog.Stencil.arrays;
   (!ndiffs, List.rev !diffs)
 
-let run_one runner prog env dev ~updates_want ~reference =
+let run_one ?pool runner prog env dev ~updates_want ~reference =
   let failures = ref [] in
   let outcome =
     if runner.sanitize then begin
@@ -213,7 +218,7 @@ let run_one runner prog env dev ~updates_want ~reference =
       Fun.protect
         ~finally:(fun () -> Sanitize.disable ())
         (fun () ->
-          let r = try Ok (runner.run prog env dev) with e -> Error e in
+          let r = try Ok (runner.run ?pool prog env dev) with e -> Error e in
           let findings = Sanitize.findings () in
           if findings <> [] then
             failures :=
@@ -226,7 +231,7 @@ let run_one runner prog env dev ~updates_want ~reference =
               :: !failures;
           r)
     end
-    else try Ok (runner.run prog env dev) with e -> Error e
+    else try Ok (runner.run ?pool prog env dev) with e -> Error e
   in
   (match outcome with
   | Error e ->
@@ -248,12 +253,26 @@ let run_one runner prog env dev ~updates_want ~reference =
           :: !failures);
   List.rev !failures
 
-let check ?mutate ?schemes prog env dev =
-  let envf p =
-    match List.assoc_opt p env with
-    | Some v -> v
-    | None -> invalid_arg ("Oracle.check: unbound parameter " ^ p)
-  in
+let envf_of_bindings env p =
+  match List.assoc_opt p env with
+  | Some v -> v
+  | None -> invalid_arg ("Oracle: unbound parameter " ^ p)
+
+(* Direct per-scheme entry for the determinism tests: same runner
+   configurations as [check], no oracle comparison, no sanitizer. *)
+let run_scheme ?pool name prog env dev =
+  match List.find_opt (fun r -> r.rname = name) (runners prog) with
+  | None ->
+      Error
+        (Fmt.str "unknown scheme %s (available: %a)" name
+           Fmt.(list ~sep:comma string)
+           (scheme_names prog))
+  | Some r -> (
+      try Ok (r.run ?pool prog (envf_of_bindings env) dev)
+      with e -> Error (Printexc.to_string e))
+
+let check ?pool ?mutate ?schemes prog env dev =
+  let envf = envf_of_bindings env in
   let all = runners prog in
   let known n = List.exists (fun r -> r.rname = n) all in
   let bad_names =
@@ -295,5 +314,5 @@ let check ?mutate ?schemes prog env dev =
                  | Some m, Some prog' when m = r.rname -> prog'
                  | _ -> prog
                in
-               run_one r p envf dev ~updates_want ~reference)
+               run_one ?pool r p envf dev ~updates_want ~reference)
              selected)

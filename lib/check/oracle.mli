@@ -49,7 +49,21 @@ val all_scheme_names : string list
 (** The full universe of runner names (some only apply to certain program
     shapes, e.g. ["split"] to 1-D single-statement programs). *)
 
+val run_scheme :
+  ?pool:Hextile_par.Par.pool ->
+  string ->
+  Stencil.t ->
+  (string * int) list ->
+  Device.t ->
+  (Hextile_schemes.Common.result, string) result
+(** Run one scheme by name with exactly the configuration [check] would
+    use, without the oracle comparison or the sanitizer — the entry point
+    the determinism tests use to compare a scheme's full result (grids,
+    counters, updates) across [--jobs] values. [Error _] on an unknown
+    name or a crash. *)
+
 val check :
+  ?pool:Hextile_par.Par.pool ->
   ?mutate:string ->
   ?schemes:string list ->
   Stencil.t ->
@@ -57,9 +71,10 @@ val check :
   Device.t ->
   (failure list, string) result
 (** Run the differential comparison; [Ok []] means every scheme agreed
-    with the interpreter and the sanitizer stayed quiet. [?schemes]
-    restricts the runner set by name. [?mutate] runs the named scheme on
-    an offset-flipped copy of the program ({!Gen.flip_offset}) — the
-    harness's own self-test that an injected schedule bug is caught;
-    [Error _] when the program has no offset to flip or a name is
-    unknown. *)
+    with the interpreter and the sanitizer stayed quiet. [?pool] lets the
+    executors run simulated blocks across domains (results are identical
+    by the determinism contract). [?schemes] restricts the runner set by
+    name. [?mutate] runs the named scheme on an offset-flipped copy of
+    the program ({!Gen.flip_offset}) — the harness's own self-test that
+    an injected schedule bug is caught; [Error _] when the program has no
+    offset to flip or a name is unknown. *)

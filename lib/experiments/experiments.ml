@@ -7,6 +7,7 @@ open Hextile_deps
 open Hextile_util
 module Obs = Hextile_obs.Obs
 module Json = Hextile_obs.Json
+module Par = Hextile_par.Par
 
 type scheme = Ppcg | Par4all | Overtile | Patus | Hybrid
 
@@ -87,7 +88,7 @@ let verify_result (r : Common.result) prog env =
       (Fmt.str "%s on %s: executed %d statement instances, reference has %d"
          r.scheme prog.Stencil.name r.updates expected)
 
-let run_scheme ?(verify = true) scheme (prog : Stencil.t) env dev =
+let run_scheme ?pool ?(verify = true) scheme (prog : Stencil.t) env dev =
   Obs.span "experiments.run_scheme" @@ fun () ->
   Obs.annot "scheme" (Obs.Str (scheme_name scheme));
   Obs.annot "stencil" (Obs.Str prog.name);
@@ -96,9 +97,9 @@ let run_scheme ?(verify = true) scheme (prog : Stencil.t) env dev =
   let e = env_fn env in
   let r =
     match scheme with
-    | Ppcg -> Ppcg.run prog e dev
-    | Par4all -> Par4all.run prog e dev
-    | Overtile -> Overtile.run prog e dev
+    | Ppcg -> Ppcg.run ?pool prog e dev
+    | Par4all -> Par4all.run ?pool prog e dev
+    | Overtile -> Overtile.run ?pool prog e dev
     | Patus ->
         (* Patus modelled as autotuned space tiling: pick the better of two
            block shapes by simulated time. *)
@@ -111,14 +112,15 @@ let run_scheme ?(verify = true) scheme (prog : Stencil.t) env dev =
         List.fold_left
           (fun best tile ->
             let r =
-              Ppcg.run ~config:{ tile = Some tile } ~name:"patus" prog e dev
+              Ppcg.run ?pool ~config:{ tile = Some tile } ~name:"patus" prog e
+                dev
             in
             match best with
             | Some b when Common.total_time b <= Common.total_time r -> Some b
             | _ -> Some r)
           None cands
         |> Option.get
-    | Hybrid -> Hybrid_exec.run prog e dev
+    | Hybrid -> Hybrid_exec.run ?pool prog e dev
   in
   if verify then Obs.span "experiments.verify" (fun () -> verify_result r prog env);
   r
@@ -127,19 +129,51 @@ let run_scheme ?(verify = true) scheme (prog : Stencil.t) env dev =
 
 type perf_row = { kernel : string; cells : (scheme * float) list }
 
-let table12 ?(quick = true) dev =
+let table12_schemes = [ Ppcg; Par4all; Overtile; Hybrid ]
+
+let table12 ?pool ?(quick = true) dev =
   Obs.span "experiments.table12" @@ fun () ->
   Obs.annot "device" (Obs.Str dev.Device.name);
-  List.map
-    (fun prog ->
-      let env = sizes ~quick prog in
-      let cells =
-        List.map
-          (fun s -> (s, Common.gstencils_per_s (run_scheme s prog env dev)))
-          [ Ppcg; Par4all; Overtile; Hybrid ]
+  match pool with
+  | Some p when Par.jobs p > 1 && not (Par.in_region ()) ->
+      (* Fan out over the (kernel, scheme) pairs — 7 × 4 independent
+         simulated runs — then regroup by kernel. Inner launches stay
+         sequential (nested regions degrade), so results are the
+         sequential ones, cell for cell. *)
+      let pairs =
+        Array.of_list
+          (List.concat_map
+             (fun prog -> List.map (fun s -> (prog, s)) table12_schemes)
+             Suite.table3)
       in
-      { kernel = prog.Stencil.name; cells })
-    Suite.table3
+      let cells =
+        Par.map p
+          (fun ((prog : Stencil.t), s) ->
+            let env = sizes ~quick prog in
+            (s, Common.gstencils_per_s (run_scheme s prog env dev)))
+          pairs
+      in
+      let nschemes = List.length table12_schemes in
+      List.mapi
+        (fun i (prog : Stencil.t) ->
+          {
+            kernel = prog.Stencil.name;
+            cells =
+              List.init nschemes (fun j -> cells.((i * nschemes) + j));
+          })
+        Suite.table3
+  | _ ->
+      List.map
+        (fun prog ->
+          let env = sizes ~quick prog in
+          let cells =
+            List.map
+              (fun s ->
+                (s, Common.gstencils_per_s (run_scheme ?pool s prog env dev)))
+              table12_schemes
+          in
+          { kernel = prog.Stencil.name; cells })
+        Suite.table3
 
 let paper_table12 (dev : Device.t) =
   let mk ppcg par4all overtile hybrid name =
@@ -236,24 +270,29 @@ let ladder_labels =
     ('f', "(d) + value reuse (dynamic)");
   ]
 
-let ladder ?(quick = true) dev =
+let ladder ?pool ?(quick = true) dev =
   Obs.span "experiments.ladder" @@ fun () ->
   Obs.annot "device" (Obs.Str dev.Device.name);
   let prog = Suite.heat3d in
   let env = sizes ~quick prog in
-  List.map
-    (fun (step, label) ->
-      let config =
-        {
-          (Hybrid_exec.default_config prog) with
-          strategy = Hybrid_exec.strategy_of_step step;
-        }
-      in
-      let dev = scaled_device dev prog env in
-      let r = Hybrid_exec.run ~config prog (env_fn env) dev in
-      verify_result r prog env;
-      { step; label; result = r })
-    ladder_labels
+  let step_of (step, label) =
+    let config =
+      {
+        (Hybrid_exec.default_config prog) with
+        strategy = Hybrid_exec.strategy_of_step step;
+      }
+    in
+    let dev = scaled_device dev prog env in
+    let r = Hybrid_exec.run ?pool ~config prog (env_fn env) dev in
+    verify_result r prog env;
+    { step; label; result = r }
+  in
+  match pool with
+  | Some p when Par.jobs p > 1 && not (Par.in_region ()) ->
+      (* one task per ladder rung; [Sim.launch] inside the region runs
+         sequentially, so each rung's result matches the jobs=1 run *)
+      Array.to_list (Par.map p step_of (Array.of_list ladder_labels))
+  | _ -> List.map step_of ladder_labels
 
 let heat3d_flops = 27.0
 
@@ -395,33 +434,37 @@ let tile_size_sweep_text () =
   | None -> Buffer.add_string b "selected: none feasible\n");
   Buffer.contents b
 
-let patus_note ?(quick = true) dev =
+let patus_note ?pool ?(quick = true) dev =
   let cell prog =
     let env = sizes ~quick prog in
-    Common.gstencils_per_s (run_scheme Patus prog env dev)
+    Common.gstencils_per_s (run_scheme ?pool Patus prog env dev)
   in
   Fmt.str
     "Patus (autotuned space tiling, CUDA support experimental in the paper):@.\
     \ \ laplacian3d %.2f GStencils/s, heat3d %.2f GStencils/s@."
     (cell Suite.laplacian3d) (cell Suite.heat3d)
 
-let h_sweep ?(quick = true) dev (prog : Stencil.t) =
+let h_sweep ?pool ?(quick = true) dev (prog : Stencil.t) =
   Obs.span "experiments.h_sweep" @@ fun () ->
   let env = sizes ~quick prog in
   let k = List.length prog.stmts in
   let base = Hybrid_exec.default_config prog in
-  List.filter_map
-    (fun h ->
-      if (h + 1) mod k <> 0 then None
-      else
-        let config = { base with h } in
-        let d = scaled_device dev prog env in
-        match Hybrid_exec.run ~config prog (env_fn env) d with
-        | r ->
-            verify_result r prog env;
-            Some (h, Common.gstencils_per_s r)
-        | exception Invalid_argument _ -> None)
-    [ 0; 1; 2; 3; 5; 7 ]
+  let eval h =
+    if (h + 1) mod k <> 0 then None
+    else
+      let config = { base with h } in
+      let d = scaled_device dev prog env in
+      match Hybrid_exec.run ?pool ~config prog (env_fn env) d with
+      | r ->
+          verify_result r prog env;
+          Some (h, Common.gstencils_per_s r)
+      | exception Invalid_argument _ -> None
+  in
+  let hs = [ 0; 1; 2; 3; 5; 7 ] in
+  match pool with
+  | Some p when Par.jobs p > 1 && not (Par.in_region ()) ->
+      List.filter_map Fun.id (Array.to_list (Par.map p eval (Array.of_list hs)))
+  | _ -> List.filter_map eval hs
 
 let diamond_vs_hex_text () =
   let b = Buffer.create 512 in

@@ -28,6 +28,7 @@ val scaled_device : Device.t -> Stencil.t -> (string * int) list -> Device.t
 (** Shrink L2 and launch overhead to preserve the paper's ratios. *)
 
 val run_scheme :
+  ?pool:Hextile_par.Par.pool ->
   ?verify:bool ->
   scheme ->
   Stencil.t ->
@@ -37,7 +38,8 @@ val run_scheme :
 (** Run one scheme on a scaled instance (device scaling applied inside).
     With [verify] (default true) the final grids are compared against the
     reference interpreter and the executed instance count is checked;
-    failures raise. *)
+    failures raise. [?pool] parallelizes the simulated thread blocks;
+    results are identical by the determinism contract. *)
 
 (** {2 Tables} *)
 
@@ -46,8 +48,11 @@ type perf_row = {
   cells : (scheme * float) list;  (** GStencils/second *)
 }
 
-val table12 : ?quick:bool -> Device.t -> perf_row list
-(** Tables 1 and 2: all Table 3 benchmarks × schemes on one device. *)
+val table12 :
+  ?pool:Hextile_par.Par.pool -> ?quick:bool -> Device.t -> perf_row list
+(** Tables 1 and 2: all Table 3 benchmarks × schemes on one device. With
+    a multi-domain [pool] the 7 × 4 (kernel, scheme) runs fan out across
+    domains and are regrouped in order — same rows, same cells. *)
 
 val paper_table12 : Device.t -> (string * (scheme * float option) list) list
 (** The paper's reported numbers for side-by-side comparison. *)
@@ -58,8 +63,10 @@ val table3_text : unit -> string
 
 type ladder_step = { step : char; label : string; result : Common.result }
 
-val ladder : ?quick:bool -> Device.t -> ladder_step list
-(** The Table 4/5 optimization ladder (a)–(f) on heat 3D. *)
+val ladder :
+  ?pool:Hextile_par.Par.pool -> ?quick:bool -> Device.t -> ladder_step list
+(** The Table 4/5 optimization ladder (a)–(f) on heat 3D; [pool] runs the
+    six rungs concurrently. *)
 
 val pp_table4 : (Device.t * ladder_step list) list Fmt.t
 (** GFLOPS per configuration and device (Table 4 layout). *)
@@ -82,11 +89,16 @@ val tile_size_sweep_text : unit -> string
 (** The Section 3.7 model on heat 3D: candidate sizes ranked by
     load-to-compute ratio. *)
 
-val patus_note : ?quick:bool -> Device.t -> string
+val patus_note : ?pool:Hextile_par.Par.pool -> ?quick:bool -> Device.t -> string
 (** The paper reports Patus only in prose (laplacian/heat 3D); this
     regenerates those two data points. *)
 
-val h_sweep : ?quick:bool -> Device.t -> Stencil.t -> (int * float) list
+val h_sweep :
+  ?pool:Hextile_par.Par.pool ->
+  ?quick:bool ->
+  Device.t ->
+  Stencil.t ->
+  (int * float) list
 (** Ablation: GStencils/s of the hybrid scheme as the time-tile height
     [h] grows (h = 0 disables time tiling within tiles). *)
 

@@ -8,11 +8,19 @@ let create () = { next = 256; tbl = Hashtbl.create 8 }
 
 let align_up n a = (n + a - 1) / a * a
 
+(* Re-registering keeps the existing base (addresses stay stable across
+   per-phase offset updates, e.g. the aligned-loads knob) and only
+   refreshes the translation offset. *)
 let place t (g : Grid.t) ~offset_floats =
-  let bytes = 4 * Array.length g.data in
-  let base = align_up t.next 256 in
-  t.next <- base + bytes + 1024;
-  let e = { base; offset = 4 * offset_floats } in
+  let e =
+    match Hashtbl.find_opt t.tbl g.decl.aname with
+    | Some e0 -> { e0 with offset = 4 * offset_floats }
+    | None ->
+        let bytes = 4 * Array.length g.data in
+        let base = align_up t.next 256 in
+        t.next <- base + bytes + 1024;
+        { base; offset = 4 * offset_floats }
+  in
   Hashtbl.replace t.tbl g.decl.aname e;
   e
 

@@ -12,7 +12,11 @@ val create : unit -> t
 val register : t -> Hextile_ir.Grid.t -> offset_floats:int -> unit
 (** Explicitly place a grid, shifting its contents by [offset_floats]
     floats relative to the aligned base (tile-translation knob). Grids not
-    registered are placed automatically with offset 0 on first use. *)
+    registered are placed automatically with offset 0 on first use.
+    Re-registering keeps the original base and only updates the offset,
+    so addresses never depend on registration order or timing — the
+    executors pre-register every program array at context creation,
+    which keeps first use race-free under parallel block execution. *)
 
 val addr : t -> Hextile_ir.Grid.t -> int -> int
 (** Byte address of float element [flat_index] of the grid. *)

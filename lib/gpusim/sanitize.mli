@@ -20,11 +20,19 @@
     own cell and overwrite it). Lanes without a thread identity are given
     a fresh synthetic one, which errs towards reporting.
 
-    The sanitizer is a process-global, explicitly enabled mode (mirroring
+    The sanitizer is an explicitly enabled mode (mirroring
     {!Hextile_obs.Obs}): scheme executors stay oblivious, and the fuzz
     harness switches it on around the runs it wants audited. Findings are
     recorded here and additionally emitted as [Obs] events
-    ([sanitizer_race] / [sanitizer_divergence]) when tracing is on. *)
+    ([sanitizer_race] / [sanitizer_divergence]) when tracing is on.
+
+    All sanitizer state is domain-local: each domain of a
+    [Hextile_par.Par] pool sees its own independent sanitizer, so
+    parallel fuzz iterations may enable/disable it freely, and {!Sim}
+    runs parallel blocks under {!capture_block} on the workers and
+    merges the per-block reports deterministically (in the scrambled
+    block order, exactly like the sequential path) with
+    {!absorb_block_reports}. *)
 
 type race = {
   r_launch : string;
@@ -73,4 +81,25 @@ val access :
 (** One warp-level shared-memory access: [tids.(i)] is the thread
     identity of lane [i] (parallel to the word-index array; lanes with
     [None] addresses are ignored). Without [tids], every lane gets a
-    fresh synthetic identity. *)
+    fresh synthetic identity (negative, restarting per block). *)
+
+(** {2 Parallel block capture} — used by {!Sim} when a launch runs its
+    blocks across a domain pool. *)
+
+type block_report
+(** The sanitizer outcome of one block: its barrier count plus the race
+    findings detected while it ran (in detection order). *)
+
+val capture_block : name:string -> block:int -> (unit -> unit) -> block_report
+(** Run one block's simulation on the {e current} domain with a fresh,
+    enabled sanitizer and return its report. Divergence checking is
+    deferred to {!absorb_block_reports} (it needs the cross-block
+    expected barrier count); the domain's sanitizer is switched off
+    again on exit. *)
+
+val absorb_block_reports : block_report array -> unit
+(** Merge per-block reports into the calling domain's (enabled)
+    sanitizer in array order: race findings are re-counted against the
+    recording cap and the divergence check runs per report, reproducing
+    the sequential path bit-for-bit when the array is in the launch's
+    scrambled block order. No-op when the sanitizer is disabled. *)

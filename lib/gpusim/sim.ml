@@ -1,4 +1,5 @@
 module Obs = Hextile_obs.Obs
+module Par = Hextile_par.Par
 
 type t = {
   dev : Device.t;
@@ -34,6 +35,45 @@ let create (dev : Device.t) =
     blocks_in_flight = 0;
   }
 
+(* ---- parallel-execution shadows ---------------------------------------- *)
+
+(* The L2 is shared across blocks, so its hit/miss sequence depends on the
+   global access order — which a parallel run does not reproduce online.
+   Each domain therefore simulates its blocks against a private shadow
+   (own counter accumulator, own L1 replica — the L1 resets per block
+   anyway) and records the per-block L2 access sequence as an encoded
+   trace; after the join, the traces are replayed through the real shared
+   L2 sequentially in the launch's scrambled block order, reproducing the
+   sequential hit/miss/writeback sequence (and hence the DRAM counters)
+   bit-for-bit. *)
+
+type tbuf = { mutable buf : int array; mutable len : int }
+
+let tbuf_create () = { buf = Array.make 256 0; len = 0 }
+
+let tbuf_push b v =
+  if b.len = Array.length b.buf then begin
+    let nb = Array.make (2 * b.len) 0 in
+    Array.blit b.buf 0 nb 0 b.len;
+    b.buf <- nb
+  end;
+  b.buf.(b.len) <- v;
+  b.len <- b.len + 1
+
+type shadow = {
+  owner : t;  (** the sim whose launch this shadow belongs to *)
+  sc : Counters.t;  (** per-domain accumulator, added into [total] at join *)
+  sl1 : L2.t;  (** private L1 replica (reset per block, like the real one) *)
+  mutable strace : tbuf;  (** current block's L2 trace: (line lsl 1) lor write *)
+}
+
+let shadow_key : shadow option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let shadow t =
+  match Domain.DLS.get shadow_key with
+  | Some s when s.owner == t -> Some s
+  | _ -> None
+
 let active addrs =
   Array.fold_left (fun n a -> if a = None then n else n + 1) 0 addrs
 
@@ -52,7 +92,8 @@ let lines_of dev addrs =
 let global_load_warp t addrs =
   let n = active addrs in
   if n > 0 then begin
-    let c = t.total in
+    let sh = shadow t in
+    let c = match sh with Some s -> s.sc | None -> t.total in
     c.gld_inst <- c.gld_inst + n;
     c.gld_requests <- c.gld_requests + 1;
     c.gld_useful_bytes <- c.gld_useful_bytes + (4 * n);
@@ -60,29 +101,47 @@ let global_load_warp t addrs =
       (fun line ->
         c.gld_transactions <- c.gld_transactions + 1;
         let addr = line * t.dev.line_bytes in
-        let l1 = t.dev.l1_bytes > 0 && (L2.access t.l1 ~addr ~write:false).hit in
-        if not l1 then begin
-          c.l2_read_transactions <- c.l2_read_transactions + 1;
-          let o = L2.access t.l2 ~addr ~write:false in
-          if not o.hit then c.dram_read_transactions <- c.dram_read_transactions + 1;
-          if o.writeback then
-            c.dram_write_transactions <- c.dram_write_transactions + 1
-        end)
+        match sh with
+        | None ->
+            let l1 =
+              t.dev.l1_bytes > 0 && (L2.access t.l1 ~addr ~write:false).hit
+            in
+            if not l1 then begin
+              c.l2_read_transactions <- c.l2_read_transactions + 1;
+              let o = L2.access t.l2 ~addr ~write:false in
+              if not o.hit then
+                c.dram_read_transactions <- c.dram_read_transactions + 1;
+              if o.writeback then
+                c.dram_write_transactions <- c.dram_write_transactions + 1
+            end
+        | Some s ->
+            let l1 =
+              t.dev.l1_bytes > 0 && (L2.access s.sl1 ~addr ~write:false).hit
+            in
+            if not l1 then begin
+              c.l2_read_transactions <- c.l2_read_transactions + 1;
+              tbuf_push s.strace (line lsl 1)
+            end)
       (lines_of t.dev addrs)
   end
 
 let global_store_warp ?(serial = false) t addrs =
   let n = active addrs in
   if n > 0 then begin
-    let c = t.total in
+    let sh = shadow t in
+    let c = match sh with Some s -> s.sc | None -> t.total in
     c.gst_inst <- c.gst_inst + n;
     List.iter
       (fun line ->
         c.gst_transactions <- c.gst_transactions + 1;
         if serial then c.serial_store_transactions <- c.serial_store_transactions + 1;
         c.l2_write_transactions <- c.l2_write_transactions + 1;
-        let o = L2.access t.l2 ~addr:(line * t.dev.line_bytes) ~write:true in
-        if o.writeback then c.dram_write_transactions <- c.dram_write_transactions + 1)
+        match sh with
+        | None ->
+            let o = L2.access t.l2 ~addr:(line * t.dev.line_bytes) ~write:true in
+            if o.writeback then
+              c.dram_write_transactions <- c.dram_write_transactions + 1
+        | Some s -> tbuf_push s.strace ((line lsl 1) lor 1))
       (lines_of t.dev addrs)
   end
 
@@ -100,11 +159,14 @@ let bank_transactions dev addrs =
     addrs;
   Array.fold_left (fun m l -> max m (List.length l)) 0 per_bank
 
+let counters_of t =
+  match shadow t with Some s -> s.sc | None -> t.total
+
 let shared_load_warp ?(replay = 1) ?tids t addrs =
   let n = active addrs in
   if n > 0 then begin
     if Sanitize.enabled () then Sanitize.access ~write:false ?tids addrs;
-    let c = t.total in
+    let c = counters_of t in
     c.shared_load_requests <- c.shared_load_requests + 1;
     c.shared_load_transactions <-
       c.shared_load_transactions + (replay * max 1 (bank_transactions t.dev addrs))
@@ -114,18 +176,21 @@ let shared_store_warp ?(replay = 1) ?tids t addrs =
   let n = active addrs in
   if n > 0 then begin
     if Sanitize.enabled () then Sanitize.access ~write:true ?tids addrs;
-    let c = t.total in
+    let c = counters_of t in
     c.shared_store_requests <- c.shared_store_requests + 1;
     c.shared_store_transactions <-
       c.shared_store_transactions + (replay * max 1 (bank_transactions t.dev addrs))
   end
 
 let flops_warp t ~active ~per_lane =
-  if active > 0 then t.total.flops <- t.total.flops + (active * per_lane)
+  if active > 0 then
+    let c = counters_of t in
+    c.flops <- c.flops + (active * per_lane)
 
 let sync t =
   if Sanitize.enabled () then Sanitize.barrier ();
-  t.total.syncs <- t.total.syncs + 1
+  let c = counters_of t in
+  c.syncs <- c.syncs + 1
 
 let occupancy (dev : Device.t) ~blocks =
   if blocks <= 0 then 1.0
@@ -198,7 +263,70 @@ let scrambled n =
   let stride = if n <= 2 then 1 else coprime (max 1 ((n * 5 / 8) + 1)) in
   Array.init n (fun i -> ((i * stride) + 1) mod n)
 
-let launch t ~name ~blocks ~threads ~shared_bytes ~f =
+(* Replay one block's L2 trace through the real shared L2, charging the
+   resulting DRAM traffic exactly as the online sequential path does. *)
+let replay_l2 t (b : tbuf) =
+  let c = t.total in
+  for i = 0 to b.len - 1 do
+    let v = b.buf.(i) in
+    let addr = v lsr 1 * t.dev.line_bytes in
+    if v land 1 = 1 then begin
+      let o = L2.access t.l2 ~addr ~write:true in
+      if o.writeback then
+        c.dram_write_transactions <- c.dram_write_transactions + 1
+    end
+    else begin
+      let o = L2.access t.l2 ~addr ~write:false in
+      if not o.hit then c.dram_read_transactions <- c.dram_read_transactions + 1;
+      if o.writeback then
+        c.dram_write_transactions <- c.dram_write_transactions + 1
+    end
+  done
+
+let run_blocks_parallel t pool ~name ~order ~f =
+  let nblocks = Array.length order in
+  let nchunks = min (Par.jobs pool) nblocks in
+  let sanitize = Sanitize.enabled () in
+  let chunk_counters = Array.init nchunks (fun _ -> Counters.create ()) in
+  let traces = Array.make nblocks None in
+  let reports = Array.make nblocks None in
+  Par.run pool
+    (Array.init nchunks (fun ci () ->
+         (* contiguous chunk of the scrambled order: merging per-chunk
+            state in chunk order reproduces the sequential order *)
+         let lo = ci * nblocks / nchunks and hi = (ci + 1) * nblocks / nchunks in
+         let sh =
+           {
+             owner = t;
+             sc = chunk_counters.(ci);
+             sl1 =
+               L2.create
+                 ~bytes:(max t.dev.line_bytes t.dev.l1_bytes)
+                 ~assoc:4 ~line_bytes:t.dev.line_bytes;
+             strace = tbuf_create ();
+           }
+         in
+         Domain.DLS.set shadow_key (Some sh);
+         Fun.protect
+           ~finally:(fun () -> Domain.DLS.set shadow_key None)
+           (fun () ->
+             for k = lo to hi - 1 do
+               let b = order.(k) in
+               L2.reset sh.sl1;
+               sh.strace <- tbuf_create ();
+               traces.(k) <- Some sh.strace;
+               if sanitize then
+                 reports.(k) <-
+                   Some (Sanitize.capture_block ~name ~block:b (fun () -> f b))
+               else f b
+             done)));
+  Array.iter (fun c -> Counters.add t.total c) chunk_counters;
+  Array.iter (function Some tr -> replay_l2 t tr | None -> ()) traces;
+  if sanitize then
+    Sanitize.absorb_block_reports
+      (Array.map (function Some r -> r | None -> assert false) reports)
+
+let launch ?pool t ~name ~blocks ~threads ~shared_bytes ~f =
   if threads > t.dev.max_threads_per_block then
     invalid_arg
       (Fmt.str "Sim.launch %s: %d threads exceed device limit %d" name threads
@@ -211,14 +339,23 @@ let launch t ~name ~blocks ~threads ~shared_bytes ~f =
     let before = Counters.copy t.total in
     t.blocks_in_flight <- blocks;
     if Sanitize.enabled () then Sanitize.launch_begin ~name;
-    Array.iter
-      (fun b ->
-        (* fresh per-block L1 (Fermi L1 is per SM and not coherent) *)
-        L2.reset t.l1;
-        if Sanitize.enabled () then Sanitize.block_begin b;
-        f b;
-        if Sanitize.enabled () then Sanitize.block_end ())
-      (scrambled blocks);
+    let par =
+      match pool with
+      | Some p when Par.jobs p > 1 && blocks > 1 && not (Par.in_region ()) ->
+          Some p
+      | _ -> None
+    in
+    (match par with
+    | Some p -> run_blocks_parallel t p ~name ~order:(scrambled blocks) ~f
+    | None ->
+        Array.iter
+          (fun b ->
+            (* fresh per-block L1 (Fermi L1 is per SM and not coherent) *)
+            L2.reset t.l1;
+            if Sanitize.enabled () then Sanitize.block_begin b;
+            f b;
+            if Sanitize.enabled () then Sanitize.block_end ())
+          (scrambled blocks));
     if Sanitize.enabled () then Sanitize.launch_end ();
     t.blocks_in_flight <- 0;
     t.total.kernels <- t.total.kernels + 1;

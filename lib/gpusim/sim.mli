@@ -10,7 +10,16 @@
 
     Blocks of one launch are executed sequentially but in a scrambled
     order, so schedules that wrongly assume an ordering between
-    concurrent blocks tend to fail functional verification. *)
+    concurrent blocks tend to fail functional verification.
+
+    With a [Hextile_par.Par] pool, {!launch} distributes contiguous
+    chunks of the scrambled order across domains. Each domain simulates
+    against a private shadow (its own counter accumulator and L1 replica)
+    and records its per-block L2 access traces; at the join the chunk
+    counters are added in chunk order and the traces are replayed through
+    the shared L2 in the scrambled block order — so every counter,
+    including L2/DRAM traffic and sanitizer findings, is bit-identical to
+    the sequential run for any jobs value. *)
 
 type t = {
   dev : Device.t;
@@ -37,6 +46,7 @@ and launch = {
 val create : Device.t -> t
 
 val launch :
+  ?pool:Hextile_par.Par.pool ->
   t ->
   name:string ->
   blocks:int ->
@@ -48,7 +58,14 @@ val launch :
     [Invalid_argument] if [threads] or [shared_bytes] exceed the device
     limits. When {!Sanitize.enabled}, the launch/block structure is
     reported to the sanitizer, which checks shared-memory races between
-    barriers and barrier-count uniformity across blocks. *)
+    barriers and barrier-count uniformity across blocks.
+
+    [pool] runs the blocks across the pool's domains (blocks of one
+    launch are independent by the CUDA model; [f] must not mutate shared
+    simulator state beyond the warp-event calls and per-cell grid
+    writes). All counters and findings are bit-identical to the
+    sequential run; with a 1-job pool, from inside another parallel
+    region, or without [pool] the exact sequential path runs. *)
 
 (** {2 Warp-level events} — call from inside [f]. Address arrays have one
     entry per lane ([None] = inactive lane) and at most [warp_size]

@@ -23,21 +23,33 @@ let fresh_root () =
     nchildren = [];
   }
 
+(* One registry per domain: the process registry serves the main domain;
+   pool workers (and the caller while it executes a region task) write
+   into a detached fork installed via domain-local storage, which the
+   region absorbs at join ({!fork_begin} / {!absorb}). *)
+type reg = {
+  mutable root : node;
+  mutable stack : node list;
+  tally : (string, int ref) Hashtbl.t;
+}
+
+let fresh_reg () = { root = fresh_root (); stack = []; tally = Hashtbl.create 32 }
+let main_reg = fresh_reg ()
+let local : reg option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+let cur () = match Domain.DLS.get local with Some r -> r | None -> main_reg
 let on = ref false
-let root = ref (fresh_root ())
-let stack : node list ref = ref []
-let tally : (string, int ref) Hashtbl.t = Hashtbl.create 32
 
 let enabled () = !on
 let enable () = on := true
 let disable () = on := false
 
 let reset () =
-  root := fresh_root ();
-  stack := [];
-  Hashtbl.reset tally
+  let r = cur () in
+  r.root <- fresh_root ();
+  r.stack <- [];
+  Hashtbl.reset r.tally
 
-let top () = match !stack with n :: _ -> n | [] -> !root
+let top r = match r.stack with n :: _ -> n | [] -> r.root
 
 let start name =
   if !on then begin
@@ -51,14 +63,16 @@ let start name =
         nchildren = [];
       }
     in
-    let parent = top () in
+    let r = cur () in
+    let parent = top r in
     parent.nchildren <- n :: parent.nchildren;
-    stack := n :: !stack
+    r.stack <- n :: r.stack
   end
 
 let stop name =
   if !on then
-    match !stack with
+    let r = cur () in
+    match r.stack with
     | [] -> invalid_arg (Fmt.str "Obs.stop %s: no span is open" name)
     | n :: rest ->
         if not (String.equal n.name name) then
@@ -66,7 +80,7 @@ let stop name =
             (Fmt.str "Obs.stop %s: innermost open span is %s (LIFO order)" name
                n.name);
         n.ndur <- now () -. n.nstart;
-        stack := rest
+        r.stack <- rest
 
 let span name f =
   if not !on then f ()
@@ -77,28 +91,59 @@ let span name f =
 
 let annot key v =
   if !on then begin
-    let n = top () in
+    let n = top (cur ()) in
     n.nattrs <- (key, v) :: List.remove_assoc key n.nattrs
   end
 
 let event name attrs =
   if !on then begin
-    let n = top () in
+    let n = top (cur ()) in
     n.nevents <- { ename = name; etime = now (); eattrs = attrs } :: n.nevents
   end
 
 let incr ?(by = 1) name =
   if !on then
+    let tally = (cur ()).tally in
     match Hashtbl.find_opt tally name with
     | Some r -> r := !r + by
     | None -> Hashtbl.replace tally name (ref by)
 
 let counter name =
-  match Hashtbl.find_opt tally name with Some r -> !r | None -> 0
+  match Hashtbl.find_opt (cur ()).tally name with Some r -> !r | None -> 0
 
 let counters () =
-  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) tally []
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) (cur ()).tally []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* ---- domain-local forks ------------------------------------------------- *)
+
+type fork = reg
+
+let fork_begin () = Domain.DLS.set local (Some (fresh_reg ()))
+
+let fork_end () =
+  match Domain.DLS.get local with
+  | Some r ->
+      Domain.DLS.set local None;
+      r
+  | None -> invalid_arg "Obs.fork_end: no fork is active on this domain"
+
+let absorb (f : fork) =
+  let r = cur () in
+  let parent = top r in
+  (* both child lists are newest-first, so plain concatenation keeps the
+     fork's entries ordered after the parent's existing ones *)
+  parent.nchildren <- f.root.nchildren @ parent.nchildren;
+  parent.nevents <- f.root.nevents @ parent.nevents;
+  List.iter
+    (fun (k, v) -> parent.nattrs <- (k, v) :: List.remove_assoc k parent.nattrs)
+    (List.rev f.root.nattrs);
+  Hashtbl.iter
+    (fun k v ->
+      match Hashtbl.find_opt r.tally k with
+      | Some dst -> dst := !dst + !v
+      | None -> Hashtbl.replace r.tally k (ref !v))
+    f.tally
 
 (* ---- inspection -------------------------------------------------------- *)
 
@@ -123,10 +168,10 @@ let rec tree_of epoch (n : node) =
   }
 
 let roots () =
-  let r = !root in
+  let r = (cur ()).root in
   List.rev_map (tree_of r.nstart) r.nchildren
 
-let open_spans () = List.map (fun n -> n.name) !stack
+let open_spans () = List.map (fun n -> n.name) (cur ()).stack
 
 (* ---- sinks ------------------------------------------------------------- *)
 
@@ -163,7 +208,7 @@ let rec json_of_tree (t : span_tree) =
        ])
 
 let to_json () =
-  let r = !root in
+  let r = (cur ()).root in
   let rt = tree_of r.nstart r in
   Json.Obj
     [

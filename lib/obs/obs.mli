@@ -9,7 +9,14 @@
     The registry is disabled by default: every hook added to the
     libraries compiles down to one load + branch, so instrumented code
     pays essentially nothing unless a driver opted in with {!enable}.
-    The registry is not thread-safe; drivers are single-threaded. *)
+
+    {b Domain safety.} Every domain records into its own registry: the
+    main domain into the process registry, pool workers into detached
+    {e forks} installed by {!fork_begin} and merged back (in a
+    deterministic caller-chosen order) with {!absorb} — this is how
+    [Hextile_par.Par] makes counter totals independent of the number of
+    domains. {!enable}/{!disable}/{!reset} are main-domain operations and
+    must not be called while a parallel region is running. *)
 
 type value = Bool of bool | Int of int | Float of float | Str of string
 
@@ -58,6 +65,33 @@ val counter : string -> int
 
 val counters : unit -> (string * int) list
 (** All counters, sorted by name. *)
+
+(** {2 Domain-local forks}
+
+    Used by the parallel runtime: a pool task calls {!fork_begin} before
+    running user code on its domain and hands the detached buffer from
+    {!fork_end} back to the region's caller, which {!absorb}s the forks
+    in task order. Spans/events/annotations land under the caller's
+    innermost open span; counter deltas are added — so totals are
+    bit-identical to the sequential run. *)
+
+type fork
+(** A detached per-task registry (spans, events, counters). *)
+
+val fork_begin : unit -> unit
+(** Install a fresh fork as the current domain's registry. Subsequent
+    {!start}/{!incr}/… on this domain record into the fork. *)
+
+val fork_end : unit -> fork
+(** Detach and return the current domain's fork, restoring the domain to
+    the process registry. Raises [Invalid_argument] if no fork is
+    active. *)
+
+val absorb : fork -> unit
+(** Merge a fork into the current registry: its top-level spans and
+    events become children/events of the innermost open span (appended
+    after existing entries), its annotations are applied in order, and
+    its counters are added. *)
 
 (** {2 Inspection} *)
 

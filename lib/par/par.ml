@@ -1,0 +1,156 @@
+module Obs = Hextile_obs.Obs
+
+type pool = {
+  jobs : int;
+  mu : Mutex.t;
+  cond : Condition.t;  (** task available / region complete / shutdown *)
+  tasks : (unit -> unit) Queue.t;
+  mutable stop : bool;
+  mutable workers : unit Domain.t array;
+}
+
+let in_region_key = Domain.DLS.new_key (fun () -> false)
+let in_region () = Domain.DLS.get in_region_key
+let recommended_jobs () = Domain.recommended_domain_count ()
+let jobs p = p.jobs
+
+let rec worker_loop p =
+  Mutex.lock p.mu;
+  let rec next () =
+    match Queue.take_opt p.tasks with
+    | Some t -> Some t
+    | None ->
+        if p.stop then None
+        else begin
+          Condition.wait p.cond p.mu;
+          next ()
+        end
+  in
+  match next () with
+  | None -> Mutex.unlock p.mu
+  | Some task ->
+      Mutex.unlock p.mu;
+      task ();
+      worker_loop p
+
+let create ~jobs =
+  let jobs = max 1 jobs in
+  let p =
+    {
+      jobs;
+      mu = Mutex.create ();
+      cond = Condition.create ();
+      tasks = Queue.create ();
+      stop = false;
+      workers = [||];
+    }
+  in
+  p.workers <- Array.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop p));
+  p
+
+let shutdown p =
+  Mutex.lock p.mu;
+  p.stop <- true;
+  Condition.broadcast p.cond;
+  Mutex.unlock p.mu;
+  Array.iter Domain.join p.workers;
+  p.workers <- [||]
+
+let with_pool ~jobs f =
+  let p = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown p) (fun () -> f p)
+
+(* One parallel region at a time: [run] is only ever entered from the
+   caller's domain (tasks re-entering degrade to the sequential loop), so
+   the queue holds tasks of at most one region and the caller may safely
+   help drain it. *)
+let run p (thunks : (unit -> unit) array) =
+  let n = Array.length thunks in
+  if n = 0 then ()
+  else if p.jobs = 1 || in_region () || n = 1 then
+    Array.iter (fun f -> f ()) thunks
+  else begin
+    let remaining = ref n in
+    let errs : (exn * Printexc.raw_backtrace) option array = Array.make n None in
+    let forks = Array.make n None in
+    let exec i =
+      let saved = Domain.DLS.get in_region_key in
+      Domain.DLS.set in_region_key true;
+      Fun.protect
+        ~finally:(fun () -> Domain.DLS.set in_region_key saved)
+        (fun () ->
+          Obs.fork_begin ();
+          (try thunks.(i) ()
+           with e -> errs.(i) <- Some (e, Printexc.get_raw_backtrace ()));
+          forks.(i) <- Some (Obs.fork_end ()))
+    in
+    let finished () =
+      Mutex.lock p.mu;
+      decr remaining;
+      if !remaining = 0 then Condition.broadcast p.cond;
+      Mutex.unlock p.mu
+    in
+    Mutex.lock p.mu;
+    for i = 1 to n - 1 do
+      Queue.add
+        (fun () ->
+          exec i;
+          finished ())
+        p.tasks
+    done;
+    Condition.broadcast p.cond;
+    Mutex.unlock p.mu;
+    exec 0;
+    finished ();
+    (* help with not-yet-claimed tasks, then wait for the stragglers *)
+    let rec help () =
+      Mutex.lock p.mu;
+      match Queue.take_opt p.tasks with
+      | Some task ->
+          Mutex.unlock p.mu;
+          task ();
+          help ()
+      | None ->
+          while !remaining > 0 do
+            Condition.wait p.cond p.mu
+          done;
+          Mutex.unlock p.mu
+    in
+    help ();
+    (* deterministic merge: absorb per-task Obs buffers in task order *)
+    Array.iter (function Some fk -> Obs.absorb fk | None -> ()) forks;
+    match Array.find_map Fun.id errs with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ()
+  end
+
+let map p f (xs : 'a array) : 'b array =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else if p.jobs = 1 || in_region () || n = 1 then Array.map f xs
+  else begin
+    let out = Array.make n None in
+    let errs : (exn * Printexc.raw_backtrace) option array = Array.make n None in
+    let next = Atomic.make 0 in
+    let ntasks = min p.jobs n in
+    run p
+      (Array.init ntasks (fun _ () ->
+           let rec loop () =
+             let i = Atomic.fetch_and_add next 1 in
+             if i < n then begin
+               (try out.(i) <- Some (f xs.(i))
+                with e -> errs.(i) <- Some (e, Printexc.get_raw_backtrace ()));
+               loop ()
+             end
+           in
+           loop ()));
+    (match Array.find_map Fun.id errs with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    Array.map (function Some v -> v | None -> assert false) out
+  end
+
+let iter p f xs = ignore (map p f xs : unit array)
+
+let map_reduce p ~map:fm ~merge init xs =
+  Array.fold_left merge init (map p fm xs)

@@ -20,34 +20,9 @@ type ctx = {
   stmts : Stencil.stmt array;
   lo : int array array;
   hi : int array array;
-  mutable updates : int;
+  updates : int Atomic.t;
   compiled : (string, compiled) Hashtbl.t;
 }
-
-let make_ctx (prog : Stencil.t) env dev =
-  (match Stencil.validate prog with
-  | Ok () -> ()
-  | Error m -> invalid_arg ("Common.make_ctx: " ^ m));
-  (* Same out-of-domain convention (and diagnostic) as Interp.run: any
-     reachable out-of-bounds access is rejected before execution. *)
-  (match Analysis.bounds_check prog env with
-  | Ok () -> ()
-  | Error m -> invalid_arg ("Common.make_ctx: " ^ m));
-  let stmts = Array.of_list prog.stmts in
-  {
-    sim = Sim.create dev;
-    prog;
-    env;
-    grids = Grid.alloc prog env;
-    k = Array.length stmts;
-    dims = Stencil.spatial_dims prog;
-    steps = Affp.eval prog.steps env;
-    stmts;
-    lo = Array.map (fun (s : Stencil.stmt) -> Array.map (fun e -> Affp.eval e env) s.lo) stmts;
-    hi = Array.map (fun (s : Stencil.stmt) -> Array.map (fun e -> Affp.eval e env) s.hi) stmts;
-    updates = 0;
-    compiled = Hashtbl.create 8;
-  }
 
 (* Compile an access into a closure computing the flat element index
    without allocation. *)
@@ -109,6 +84,44 @@ let compile_stmt (ctx : ctx) (s : Stencil.stmt) =
       Hashtbl.replace ctx.compiled s.sname c;
       c
 
+let make_ctx (prog : Stencil.t) env dev =
+  (match Stencil.validate prog with
+  | Ok () -> ()
+  | Error m -> invalid_arg ("Common.make_ctx: " ^ m));
+  (* Same out-of-domain convention (and diagnostic) as Interp.run: any
+     reachable out-of-bounds access is rejected before execution. *)
+  (match Analysis.bounds_check prog env with
+  | Ok () -> ()
+  | Error m -> invalid_arg ("Common.make_ctx: " ^ m));
+  let stmts = Array.of_list prog.stmts in
+  let ctx =
+    {
+      sim = Sim.create dev;
+      prog;
+      env;
+      grids = Grid.alloc prog env;
+      k = Array.length stmts;
+      dims = Stencil.spatial_dims prog;
+      steps = Affp.eval prog.steps env;
+      stmts;
+      lo = Array.map (fun (s : Stencil.stmt) -> Array.map (fun e -> Affp.eval e env) s.lo) stmts;
+      hi = Array.map (fun (s : Stencil.stmt) -> Array.map (fun e -> Affp.eval e env) s.hi) stmts;
+      updates = Atomic.make 0;
+      compiled = Hashtbl.create 8;
+    }
+  in
+  (* Make the context read-only before any (possibly parallel) block
+     execution: place every array at its declaration-order address so the
+     lazy first-touch path never runs, and precompile every statement so
+     the memo table is never mutated from a worker domain. *)
+  List.iter
+    (fun (a : Stencil.array_decl) ->
+      Addrmap.register ctx.sim.addr (Grid.find ctx.grids a.aname)
+        ~offset_floats:0)
+    prog.arrays;
+  Array.iter (fun s -> ignore (compile_stmt ctx s)) stmts;
+  ctx
+
 type result = {
   scheme : string;
   device : Device.t;
@@ -127,7 +140,7 @@ let finish ctx ~scheme =
     counters = ctx.sim.total;
     kernel_time = Sim.kernel_time ctx.sim;
     transfer_time = Sim.transfer_time ctx.sim ~bytes;
-    updates = ctx.updates;
+    updates = Atomic.get ctx.updates;
     grids = ctx.grids;
   }
 
@@ -328,7 +341,7 @@ let exec_stmt_row ctx ~stmt ~tstep ~point ~xs ?read_value ?write_value
                 | Some w -> w ~point v
                 | None -> Grid.write_access ctx.grids s.write ~t:tstep ~point v)
               lane_xs);
-        if count then ctx.updates <- ctx.updates + nlanes)
+        if count then ignore (Atomic.fetch_and_add ctx.updates nlanes))
   end
 
 let load_box_rows ctx ~grid ~slot ~box ~skip_x ~shared_addr =

@@ -18,7 +18,9 @@ type ctx = {
   stmts : Stencil.stmt array;
   lo : int array array;  (** per statement, inclusive domain bounds *)
   hi : int array array;
-  mutable updates : int;  (** statement instances executed *)
+  updates : int Atomic.t;
+      (** statement instances executed (atomic: blocks of one launch may
+          run on different domains; the sum is order-independent) *)
   compiled : (string, compiled) Hashtbl.t;
 }
 

@@ -85,7 +85,7 @@ let align_offsets (t : Hybrid.t) ~reuse =
       Intutil.fmod (-base) 32
   end
 
-let run ?(name = "hybrid") ?config prog env dev =
+let run ?pool ?(name = "hybrid") ?config prog env dev =
   let ctx = Common.make_ctx prog env dev in
   let config = match config with Some c -> c | None -> default_config prog in
   let strat = config.strategy in
@@ -206,7 +206,7 @@ let run ?(name = "hybrid") ?config prog env dev =
     done
   in
   (* process one (T, phase, S0, S1..Sn) tile; returns its layout *)
-  let shared_warned = ref false in
+  let shared_warned = Atomic.make false in
   let process_tile ~u0 ~s00 ~(cls : int array) ~(prev : Common.Layout.t option) =
     let lay = Common.Layout.create () in
     if strat.use_shared then begin
@@ -235,13 +235,15 @@ let run ?(name = "hybrid") ?config prog env dev =
           List.iter (fun a -> grow_access a ~tstep ~point ~xs) (Stencil.distinct_reads stmt);
           grow_access stmt.Stencil.write ~tstep ~point ~xs);
       Hashtbl.iter (fun (arr, slot) box -> Common.Layout.add lay ~array:arr ~slot box) boxes;
-      if 4 * Common.Layout.words lay > dev.Device.shared_mem_bytes && not !shared_warned
+      if
+        4 * Common.Layout.words lay > dev.Device.shared_mem_bytes
+        (* blocks may run on several domains: claim the warning atomically *)
+        && Atomic.compare_and_set shared_warned false true
       then begin
         (* The box over-approximation exceeds the device limit; the
            paper's code generator avoids this with live-window modular
            mappings (Section 4.2.2), which the traffic model below does
            not need to materialize. Warn once and continue. *)
-        shared_warned := true;
         Fmt.epr
           "[hextile] warning: %s tile box needs %d B shared memory (device limit %d)@."
           name
@@ -352,7 +354,7 @@ let run ?(name = "hybrid") ?config prog env dev =
       let s0_lo = s_of glo.(0) and s0_hi = s_of ghi.(0) in
       let blocks = s0_hi - s0_lo + 1 in
       if blocks > 0 then
-        Sim.launch ctx.sim
+        Sim.launch ?pool ctx.sim
           ~name:(Fmt.str "%s_T%d_p%d" name tt phase)
           ~blocks ~threads:config.threads ~shared_bytes:0
           ~f:(fun b ->

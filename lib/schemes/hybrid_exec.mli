@@ -56,4 +56,12 @@ val default_config : Stencil.t -> config
     2D h=3, w=(4,32); for 1D h=3, w0=16; threads 256 (320 for 3D). *)
 
 val run :
-  ?name:string -> ?config:config -> Stencil.t -> (string -> int) -> Device.t -> Common.result
+  ?pool:Hextile_par.Par.pool ->
+  ?name:string ->
+  ?config:config ->
+  Stencil.t ->
+  (string -> int) ->
+  Device.t ->
+  Common.result
+(** [pool] parallelizes each launch's blocks across the pool's domains
+    (bit-identical results for any jobs value; see {!Sim.launch}). *)

@@ -52,7 +52,7 @@ let needed_slots (ctx : Common.ctx) ~tt0 ~hh_eff =
   done;
   needed
 
-let run ?config prog env dev =
+let run ?pool ?config prog env dev =
   let ctx = Common.make_ctx prog env dev in
   let config =
     match config with Some c -> c | None -> default_config ~dims:ctx.dims
@@ -86,7 +86,7 @@ let run ?config prog env dev =
     let tt0v = !tt0 in
     let snap = Common.snapshot ctx in
     let needed = needed_slots ctx ~tt0:tt0v ~hh_eff in
-    Sim.launch ctx.sim
+    Sim.launch ?pool ctx.sim
       ~name:(Fmt.str "overtile_tt%d" tt0v)
       ~blocks ~threads ~shared_bytes:0
       ~f:(fun b ->
@@ -237,5 +237,5 @@ let run ?config prog env dev =
   done;
   (* Useful updates = the reference instance count (redundant halo
      recomputation does not produce additional stencils). *)
-  ctx.updates <- Interp.stencil_updates prog env;
+  Atomic.set ctx.updates (Interp.stencil_updates prog env);
   Common.finish ctx ~scheme:"overtile"

@@ -25,4 +25,10 @@ val default_config : dims:int -> config
 val radii : Stencil.t -> int array
 (** Per-dimension halo radius: max |read offset|. *)
 
-val run : ?config:config -> Stencil.t -> (string -> int) -> Device.t -> Common.result
+val run :
+  ?pool:Hextile_par.Par.pool ->
+  ?config:config ->
+  Stencil.t ->
+  (string -> int) ->
+  Device.t ->
+  Common.result

@@ -5,7 +5,7 @@ type config = { threads_per_block : int }
 
 let default_config = { threads_per_block = 256 }
 
-let run ?(config = default_config) prog env dev =
+let run ?pool ?(config = default_config) prog env dev =
   let ctx = Common.make_ctx prog env dev in
   let tpb = config.threads_per_block in
   for tstep = 0 to ctx.steps - 1 do
@@ -34,7 +34,7 @@ let run ?(config = default_config) prog env dev =
             done;
             p
           in
-          Sim.launch ctx.sim
+          Sim.launch ?pool ctx.sim
             ~name:(Fmt.str "par4all_%s_t%d" stmt.Stencil.sname tstep)
             ~blocks ~threads:tpb ~shared_bytes:0
             ~f:(fun b ->

@@ -10,4 +10,10 @@ type config = { threads_per_block : int }
 
 val default_config : config
 
-val run : ?config:config -> Stencil.t -> (string -> int) -> Device.t -> Common.result
+val run :
+  ?pool:Hextile_par.Par.pool ->
+  ?config:config ->
+  Stencil.t ->
+  (string -> int) ->
+  Device.t ->
+  Common.result

@@ -40,7 +40,7 @@ let input_boxes (ctx : Common.ctx) (stmt : Stencil.stmt) ~tstep ~(region : Commo
     (Stencil.distinct_reads stmt);
   boxes
 
-let run ?(config = default_config) ?(name = "ppcg") prog env dev =
+let run ?pool ?(config = default_config) ?(name = "ppcg") prog env dev =
   let ctx = Common.make_ctx prog env dev in
   let tile =
     match config.tile with Some t -> t | None -> default_tile ~dims:ctx.dims
@@ -57,7 +57,7 @@ let run ?(config = default_config) ?(name = "ppcg") prog env dev =
         in
         let blocks = Array.fold_left ( * ) 1 ntiles in
         if blocks > 0 then
-          Sim.launch ctx.sim
+          Sim.launch ?pool ctx.sim
             ~name:(Fmt.str "%s_%s_t%d" name stmt.Stencil.sname tstep)
             ~blocks ~threads
             ~shared_bytes:0 (* checked per-block below via layout *)

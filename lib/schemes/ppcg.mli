@@ -17,4 +17,11 @@ val default_config : config
 
 val default_tile : dims:int -> int array
 
-val run : ?config:config -> ?name:string -> Stencil.t -> (string -> int) -> Device.t -> Common.result
+val run :
+  ?pool:Hextile_par.Par.pool ->
+  ?config:config ->
+  ?name:string ->
+  Stencil.t ->
+  (string -> int) ->
+  Device.t ->
+  Common.result

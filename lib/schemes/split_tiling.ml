@@ -7,7 +7,7 @@ type config = { hh : int; width : int }
 
 let default_config = { hh = 4; width = 64 }
 
-let run ?(config = default_config) prog env dev =
+let run ?pool ?(config = default_config) prog env dev =
   let ctx = Common.make_ctx prog env dev in
   if ctx.dims <> 1 then
     invalid_arg "Split_tiling.run: only 1D stencils (the paper's degenerate case)";
@@ -46,7 +46,7 @@ let run ?(config = default_config) prog env dev =
     let t0 = !tt0 in
     (* ---- phase A: upright trapezoids --------------------------------- *)
     let snap = Common.snapshot ctx in
-    Sim.launch ctx.sim
+    Sim.launch ?pool ctx.sim
       ~name:(Fmt.str "split_up_tt%d" t0)
       ~blocks:nbase ~threads:(min width 256) ~shared_bytes:0
       ~f:(fun b ->
@@ -125,7 +125,7 @@ let run ?(config = default_config) prog env dev =
       let rec owner b' = if bnd_of b' >= gl then owner (b' - 1) else b' + 1 in
       if b = owner b then Some (max lo gl, min hi gh) else None
     in
-    Sim.launch ctx.sim
+    Sim.launch ?pool ctx.sim
       ~name:(Fmt.str "split_down_tt%d" t0)
       ~blocks:(nbase + 1) ~threads:(min (2 * r * hh) 256) ~shared_bytes:0
       ~f:(fun b ->

@@ -16,6 +16,11 @@ type config = { hh : int; width : int }
 val default_config : config
 
 val run :
-  ?config:config -> Stencil.t -> (string -> int) -> Device.t -> Common.result
+  ?pool:Hextile_par.Par.pool ->
+  ?config:config ->
+  Stencil.t ->
+  (string -> int) ->
+  Device.t ->
+  Common.result
 (** Raises [Invalid_argument] for non-1D programs or if [width] is too
     small for the dependence slopes ([width > 2·r·hh]). *)

@@ -1,6 +1,7 @@
 open Hextile_ir
 open Hextile_deps
 module Obs = Hextile_obs.Obs
+module Par = Hextile_par.Par
 
 type stats = {
   iterations : int;
@@ -133,52 +134,70 @@ let rec cartesian = function
       let tails = cartesian rest in
       List.concat_map (fun c -> List.map (fun t -> c :: t) tails) choices
 
-let select prog ~h_candidates ~w0_candidates ~wi_candidates ~shared_mem_floats
-    ?require_multiple () =
+let select ?pool prog ~h_candidates ~w0_candidates ~wi_candidates
+    ~shared_mem_floats ?require_multiple () =
   Obs.span "tiling.tile_size_select" (fun () ->
       Obs.annot "stencil" (Obs.Str prog.Stencil.name);
       let k = List.length prog.Stencil.stmts in
       let deps = Dep.analyze prog in
       let cone = Cone.of_deps deps ~dim:0 in
+      (* candidate enumeration is cheap; keep it sequential so the
+         candidate order (and thus every tie-break) is fixed up front *)
+      let candidates =
+        List.concat_map
+          (fun h ->
+            if (h + 1) mod k <> 0 then []
+            else
+              List.concat_map
+                (fun w0 ->
+                  if w0 < Hexagon.min_w0 ~h cone then []
+                  else
+                    List.filter_map
+                      (fun wis ->
+                        let w = Array.of_list (w0 :: wis) in
+                        let innermost = w.(Array.length w - 1) in
+                        let aligned =
+                          match require_multiple with
+                          | Some m -> innermost mod m = 0
+                          | None -> true
+                        in
+                        if aligned then Some (h, w) else None)
+                      (cartesian wi_candidates))
+                w0_candidates)
+          h_candidates
+        |> Array.of_list
+      in
+      (* the expensive per-candidate evaluation (Hybrid.make + point
+         enumeration) is independent per candidate — fan it out; results
+         come back indexed, so the fold below sees the sequential order *)
+      let eval (h, w) =
+        Obs.incr "tiling.tilesize_candidates";
+        let t = Hybrid.make prog ~h ~w in
+        (h, w, tile_stats t)
+      in
+      let evaluated =
+        match pool with
+        | Some p -> Par.map p eval candidates
+        | None -> Array.map eval candidates
+      in
       let best = ref None in
-      let tried = ref 0 and feasible = ref 0 in
-      List.iter
-        (fun h ->
-          if (h + 1) mod k = 0 then
-            List.iter
-              (fun w0 ->
-                if w0 >= Hexagon.min_w0 ~h cone then
-                  List.iter
-                    (fun wis ->
-                      let w = Array.of_list (w0 :: wis) in
-                      let innermost = w.(Array.length w - 1) in
-                      let aligned =
-                        match require_multiple with
-                        | Some m -> innermost mod m = 0
-                        | None -> true
-                      in
-                      if aligned then begin
-                        incr tried;
-                        Obs.incr "tiling.tilesize_candidates";
-                        let t = Hybrid.make prog ~h ~w in
-                        let stats = tile_stats t in
-                        if stats.footprint_box <= shared_mem_floats then begin
-                          incr feasible;
-                          Obs.incr "tiling.tilesize_feasible";
-                          match !best with
-                          | None -> best := Some { h; w; stats }
-                          | Some b ->
-                              if
-                                stats.ratio < b.stats.ratio -. 1e-12
-                                || (Float.abs (stats.ratio -. b.stats.ratio) <= 1e-12
-                                   && stats.iterations > b.stats.iterations)
-                              then best := Some { h; w; stats }
-                        end
-                      end)
-                    (cartesian wi_candidates))
-              w0_candidates)
-        h_candidates;
-      Obs.annot "candidates_tried" (Obs.Int !tried);
+      let feasible = ref 0 in
+      Array.iter
+        (fun (h, w, stats) ->
+          if stats.footprint_box <= shared_mem_floats then begin
+            incr feasible;
+            Obs.incr "tiling.tilesize_feasible";
+            match !best with
+            | None -> best := Some { h; w; stats }
+            | Some b ->
+                if
+                  stats.ratio < b.stats.ratio -. 1e-12
+                  || (Float.abs (stats.ratio -. b.stats.ratio) <= 1e-12
+                     && stats.iterations > b.stats.iterations)
+                then best := Some { h; w; stats }
+          end)
+        evaluated;
+      Obs.annot "candidates_tried" (Obs.Int (Array.length candidates));
       Obs.annot "candidates_feasible" (Obs.Int !feasible);
       (match !best with
       | Some c ->

@@ -29,6 +29,7 @@ val iterations_formula_3d : h:int -> w0:int -> w1:int -> w2:int -> int
     3D stencils with [δ0 = δ1 = 1]. *)
 
 val select :
+  ?pool:Hextile_par.Par.pool ->
   Stencil.t ->
   h_candidates:int list ->
   w0_candidates:int list ->

@@ -10,6 +10,7 @@ let () =
       ("gpusim", Test_gpusim.suite);
       ("schemes", Test_schemes.suite);
       ("check", Test_check.suite);
+      ("par", Test_par.suite);
       ("codegen", Test_codegen.suite);
       ("experiments", Test_experiments.suite);
       ("obs", Test_obs.suite);
