@@ -1,6 +1,6 @@
 # Convenience wrapper; `make check` is what CI runs.
 
-.PHONY: all build test check fmt clean profile-smoke fuzz bench
+.PHONY: all build test check fmt clean profile-smoke fuzz bench bench-tilesize
 
 all: build
 
@@ -37,6 +37,16 @@ JOBS ?= 4
 bench:
 	dune exec bench/main.exe -- --only parcmp --jobs $(JOBS) --json BENCH_par.json
 	@python3 -c "import json; d=json.load(open('BENCH_par.json'))['experiments']['parcmp']; print('parcmp: jobs=%d speedup=%.2fx identical=%s' % (d['jobs'], d['speedup'], d['identical']))"
+
+# Tile-size search benchmark: runs the staged (analytic-prune + exact)
+# search against the frozen exhaustive oracle over the Table 3 suite,
+# both sequentially and at --jobs 2, and records totals in
+# BENCH_tilesize.json. Fails if any selected tile diverges from the
+# oracle or if the staged search does fewer than 5x fewer exact
+# evaluations than there are candidates.
+bench-tilesize:
+	dune exec bench/main.exe -- --only tilesearch --jobs 2 --json BENCH_tilesize.json
+	@python3 -c "import json; d=json.load(open('BENCH_tilesize.json'))['experiments']['tilesearch']; print('tilesearch: %d candidates, %d exact evals, exhaustive %.2fs, staged %.2fs' % (d['total_candidates'], d['total_exact_evals'], d['t_exhaustive_s'], d['t_staged_s']))"
 
 clean:
 	dune clean

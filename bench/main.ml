@@ -140,6 +140,134 @@ let parcmp ~jobs ~quick () =
       ("rows", Experiments.table12_json Device.gtx470 rows_n);
     ]
 
+(* ---- staged tile-size search benchmark: staged vs exhaustive --------- *)
+
+module Tile_size = Hextile_tiling.Tile_size
+
+(* Larger grids than the CLI default so the analytic layer has something
+   to prune; h descends so good (large-h) candidates are screened first
+   and their ratio bounds dominate the rest of the walk. Candidate order
+   is identical for both searches, so the choice contract still holds. *)
+let tilesearch_grids (prog : Hextile_ir.Stencil.t) =
+  if Hextile_ir.Stencil.spatial_dims prog = 3 then
+    ([ 5; 3; 2; 1 ], [ 2; 4; 6; 8 ], [ [ 1; 2; 4; 8 ]; [ 32; 64; 128 ] ])
+  else ([ 7; 5; 3; 2; 1 ], [ 2; 4; 6; 8; 12; 16 ], [ [ 32; 64; 128; 256 ] ])
+
+let tilesearch_budget = 12288 (* 48 KiB of floats *)
+
+let same_choice a b =
+  match (a, b) with
+  | None, None -> true
+  | Some (x : Tile_size.choice), Some (y : Tile_size.choice) ->
+      x.h = y.h && x.w = y.w && x.stats = y.stats
+  | _ -> false
+
+(* Wall-clock and counter comparison of the staged search against the
+   frozen exhaustive oracle over the Table 3 suite, plus the jobs
+   determinism check; fails on any choice divergence or if the analytic
+   layer stops paying for itself (< 5x fewer exact evaluations than
+   candidates). The JSON lands in BENCH_tilesize.json via
+   `make bench-tilesize`. *)
+let tilesearch ~jobs ~quick () =
+  ignore quick;
+  section (Fmt.str "Tile-size search: staged vs exhaustive (Table 3, jobs=%d)" jobs);
+  let rows = ref [] in
+  let tot_cand = ref 0 and tot_evals = ref 0 in
+  let tot_ex = ref 0.0 and tot_st = ref 0.0 and tot_par = ref 0.0 in
+  List.iter
+    (fun (prog : Hextile_ir.Stencil.t) ->
+      let hc, w0c, wi = tilesearch_grids prog in
+      let timed f =
+        let t0 = Unix.gettimeofday () in
+        let r = f () in
+        (r, Unix.gettimeofday () -. t0)
+      in
+      let oracle, t_ex =
+        timed (fun () ->
+            Tile_size.select_exhaustive prog ~h_candidates:hc ~w0_candidates:w0c
+              ~wi_candidates:wi ~shared_mem_floats:tilesearch_budget
+              ~require_multiple:32 ())
+      in
+      let (staged, report), t_st =
+        timed (fun () ->
+            Tile_size.select_with_report prog ~h_candidates:hc ~w0_candidates:w0c
+              ~wi_candidates:wi ~shared_mem_floats:tilesearch_budget
+              ~require_multiple:32 ())
+      in
+      let (staged_par, report_par), t_par =
+        timed (fun () ->
+            Par.with_pool ~jobs @@ fun pool ->
+            Tile_size.select_with_report ~pool prog ~h_candidates:hc
+              ~w0_candidates:w0c ~wi_candidates:wi
+              ~shared_mem_floats:tilesearch_budget ~require_multiple:32 ())
+      in
+      if not (same_choice staged oracle) then
+        failwith (Fmt.str "tilesearch: %s staged choice differs from exhaustive" prog.name);
+      if not (same_choice staged_par oracle) then
+        failwith
+          (Fmt.str "tilesearch: %s staged choice differs at jobs=%d" prog.name jobs);
+      if report <> report_par then
+        failwith (Fmt.str "tilesearch: %s search counters differ at jobs=%d" prog.name jobs);
+      tot_cand := !tot_cand + report.candidates;
+      tot_evals := !tot_evals + report.exact_evals;
+      tot_ex := !tot_ex +. t_ex;
+      tot_st := !tot_st +. t_st;
+      tot_par := !tot_par +. t_par;
+      Fmt.pr
+        "%-12s %4d candidates -> %3d exact evals (%3d infeasible, %3d dominated)  \
+         exhaustive %6.1f ms  staged %6.1f ms  staged(jobs=%d) %6.1f ms@."
+        prog.name report.candidates report.exact_evals report.pruned_infeasible
+        report.pruned_dominated (1000. *. t_ex) (1000. *. t_st) jobs (1000. *. t_par);
+      let choice_json =
+        match staged with
+        | None -> Json.Str "none"
+        | Some c ->
+            Json.Obj
+              [
+                ("h", Json.Int c.h);
+                ( "w",
+                  Json.List (Array.to_list (Array.map (fun x -> Json.Int x) c.w)) );
+                ("ratio", Json.Float c.stats.ratio);
+              ]
+      in
+      rows :=
+        ( prog.name,
+          Json.Obj
+            [
+              ("candidates", Json.Int report.candidates);
+              ("feasible", Json.Int report.feasible);
+              ("pruned_infeasible", Json.Int report.pruned_infeasible);
+              ("pruned_dominated", Json.Int report.pruned_dominated);
+              ("exact_evals", Json.Int report.exact_evals);
+              ("t_exhaustive_s", Json.Float t_ex);
+              ("t_staged_s", Json.Float t_st);
+              ("t_staged_par_s", Json.Float t_par);
+              ("choice", choice_json);
+              ("identical", Json.Bool true);
+            ] )
+        :: !rows)
+    Suite.table3;
+  Fmt.pr
+    "total: %d candidates, %d exact evals (%.1fx fewer), exhaustive %.2f s, \
+     staged %.2f s (%.2fx), staged jobs=%d %.2f s@."
+    !tot_cand !tot_evals
+    (float_of_int !tot_cand /. float_of_int (max 1 !tot_evals))
+    !tot_ex !tot_st (!tot_ex /. !tot_st) jobs !tot_par;
+  if !tot_evals * 5 > !tot_cand then
+    failwith
+      (Fmt.str "tilesearch: analytic layer pruned too little (%d exact evals of %d candidates)"
+         !tot_evals !tot_cand);
+  Json.Obj
+    [
+      ("jobs", Json.Int jobs);
+      ("total_candidates", Json.Int !tot_cand);
+      ("total_exact_evals", Json.Int !tot_evals);
+      ("t_exhaustive_s", Json.Float !tot_ex);
+      ("t_staged_s", Json.Float !tot_st);
+      ("t_staged_par_s", Json.Float !tot_par);
+      ("stencils", Json.Obj (List.rev !rows));
+    ]
+
 (* ---- Bechamel micro-benchmarks: one per table/figure driver ---------- *)
 
 let micro () =
@@ -264,16 +392,17 @@ let () =
       ("table2", table2 ~pool ~quick);
       ("table45", tables45 ~pool ~quick);
       ("parcmp", parcmp ~jobs ~quick);
+      ("tilesearch", tilesearch ~jobs ~quick);
       ("micro", micro);
     ]
   in
   let selected =
     match !only with
     | [] ->
-        (* micro has its own timing loop and parcmp spawns its own pools;
-           both run only on request *)
+        (* micro has its own timing loop; parcmp and tilesearch spawn
+           their own pools and time things — all run only on request *)
         List.filter
-          (fun id -> id <> "micro" && id <> "parcmp")
+          (fun id -> id <> "micro" && id <> "parcmp" && id <> "tilesearch")
           (List.map fst all)
     | l ->
         List.concat_map

@@ -222,12 +222,19 @@ let tilesize_cmd =
             Par.with_pool ~jobs @@ fun pool ->
             let dims = Stencil.spatial_dims prog in
             let wi = List.init (dims - 1) (fun d -> if d = dims - 2 then [ 32; 64 ] else [ 4; 6; 10 ]) in
-            match
-              Tile_size.select ~pool prog ~h_candidates:[ 1; 2; 3; 5 ]
+            let t0 = Unix.gettimeofday () in
+            let best, report =
+              Tile_size.select_with_report ~pool prog ~h_candidates:[ 1; 2; 3; 5 ]
                 ~w0_candidates:[ 2; 4; 7; 8 ] ~wi_candidates:wi
                 ~shared_mem_floats:(48 * 1024 / 4)
                 ~require_multiple:(if dims > 1 then 32 else 1) ()
-            with
+            in
+            let dt = Unix.gettimeofday () -. t0 in
+            (* search counters go to stderr unconditionally (no --trace
+               needed) so the selection line on stdout stays parseable *)
+            Fmt.epr "search: %a wall=%.3fms@." Tile_size.pp_report report
+              (1000.0 *. dt);
+            match best with
             | Some c ->
                 Fmt.pr "selected %a@." Tile_size.pp_choice c;
                 0

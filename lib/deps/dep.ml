@@ -29,7 +29,7 @@ let minimal_du ~k ~m ~dc ~di =
   (* smallest base + j*step >= 1 *)
   base + (step * Intutil.cdiv (1 - base) step)
 
-let analyze (p : Stencil.t) =
+let analyze_uncached (p : Stencil.t) =
   (match Stencil.validate p with
   | Ok () -> ()
   | Error m -> invalid_arg ("Dep.analyze: " ^ m));
@@ -68,6 +68,27 @@ let analyze (p : Stencil.t) =
   (* Deduplicate identical records (several reads can induce the same
      distance). *)
   List.sort_uniq compare !deps
+
+(* The analysis is a pure function of the program and is re-requested
+   for every tile-size candidate and scheme run; memoize it per domain
+   (no locking needed under the parallel runtime) keyed structurally by
+   the program. Only successful analyses are cached, so validation
+   errors keep raising. *)
+let memo_max = 32
+
+let memo_key :
+    (Stencil.t, t list) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 8)
+
+let analyze (p : Stencil.t) =
+  let tbl = Domain.DLS.get memo_key in
+  match Hashtbl.find_opt tbl p with
+  | Some deps -> deps
+  | None ->
+      let deps = analyze_uncached p in
+      if Hashtbl.length tbl >= memo_max then Hashtbl.reset tbl;
+      Hashtbl.replace tbl p deps;
+      deps
 
 let distance_vectors deps = List.sort_uniq compare (List.map (fun d -> d.dist) deps)
 

@@ -25,7 +25,14 @@ type t = {
 }
 
 val analyze : Stencil.t -> t list
-(** All minimal dependence distances of the program. *)
+(** All minimal dependence distances of the program. Memoized per domain
+    (structural key on the program), so repeated queries — one per
+    tile-size candidate, one per scheme run — cost a table lookup; the
+    second call on a domain returns the same (physically shared,
+    immutable) list. *)
+
+val analyze_uncached : Stencil.t -> t list
+(** The underlying analysis, bypassing the memo table. *)
 
 val distance_vectors : t list -> int array list
 (** Distinct distance vectors, sorted. *)

@@ -77,8 +77,11 @@ let equal ?(eps = 0.0) a b =
   Array.length a.data = Array.length b.data
   && a.dims = b.dims
   &&
-  let ok = ref true in
-  Array.iteri
-    (fun i v -> if Float.abs (v -. b.data.(i)) > eps then ok := false)
-    a.data;
-  !ok
+  (* short-circuit on the first mismatch; the negated [> eps] keeps the
+     historical NaN behavior (an incomparable pair is not a mismatch) *)
+  let n = Array.length a.data in
+  let rec go i =
+    i >= n
+    || ((not (Float.abs (a.data.(i) -. b.data.(i)) > eps)) && go (i + 1))
+  in
+  go 0

@@ -24,16 +24,16 @@ let sign n = compare n 0
 
 (* Fourier-Motzkin elimination of variable [j], preferring an equality
    pivot: an equality [e] with a nonzero coefficient at [j] lets every
-   other constraint be rewritten without the pair-combination blowup. *)
-let eliminate_keep t j =
-  Obs.incr "poly.fm_eliminations";
+   other constraint be rewritten without the pair-combination blowup.
+   Returns the new constraint list and whether an equality pivot was
+   used (for exact Obs counter replay on cache hits). *)
+let eliminate_cs cs j =
   let open Constr in
   let has_j c = coeff c j <> 0 in
-  match List.find_opt (fun c -> c.kind = Eq && has_j c) t.cs with
+  match List.find_opt (fun c -> c.kind = Eq && has_j c) cs with
   | Some e ->
-      Obs.incr "poly.fm_eq_pivots";
       let ej = coeff e j in
-      let cs =
+      let cs' =
         List.filter_map
           (fun c ->
             if c == e then None
@@ -42,9 +42,9 @@ let eliminate_keep t j =
               let cj = coeff c j in
               let c' = combine (abs ej) c (-sign ej * cj) e in
               if is_trivial c' then None else Some (normalize c'))
-          t.cs
+          cs
       in
-      { t with cs }
+      (cs', true)
   | None ->
       let pos, neg, zero =
         List.fold_left
@@ -53,7 +53,7 @@ let eliminate_keep t j =
             if cj > 0 then (c :: p, n, z)
             else if cj < 0 then (p, c :: n, z)
             else (p, n, c :: z))
-          ([], [], []) t.cs
+          ([], [], []) cs
       in
       let combos =
         List.concat_map
@@ -65,7 +65,63 @@ let eliminate_keep t j =
               neg)
           pos
       in
-      { t with cs = List.rev_append combos zero }
+      (List.rev_append combos zero, false)
+
+(* Projection cache. The same small systems (hexagon shapes, tile
+   polyhedra) are eliminated over and over during tile-size search and
+   bound queries; results are memoized per domain (no locking, safe
+   under the parallel runtime) keyed by the canonicalized (sorted,
+   already-normalized) constraint list plus the eliminated variable.
+   Obs counters are replayed on hits — [poly.fm_eliminations] counts
+   requests and [poly.fm_eq_pivots] is bumped from the cached pivot flag
+   — so counter totals are bit-identical whether or not the cache is on,
+   on every domain, at every --jobs value. *)
+let fm_cache_on = Atomic.make true
+let set_fm_cache b = Atomic.set fm_cache_on b
+let fm_cache_enabled () = Atomic.get fm_cache_on
+
+type fm_cache = {
+  tbl : (Constr.t list * int, Constr.t list * bool) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let fm_cache_key =
+  Domain.DLS.new_key (fun () -> { tbl = Hashtbl.create 64; hits = 0; misses = 0 })
+
+let fm_cache_stats () =
+  let c = Domain.DLS.get fm_cache_key in
+  (c.hits, c.misses)
+
+let fm_cache_clear () =
+  let c = Domain.DLS.get fm_cache_key in
+  Hashtbl.reset c.tbl;
+  c.hits <- 0;
+  c.misses <- 0
+
+let fm_cache_max = 4096
+
+let eliminate_keep t j =
+  Obs.incr "poly.fm_eliminations";
+  let finish (cs, eq_pivot) =
+    if eq_pivot then Obs.incr "poly.fm_eq_pivots";
+    { t with cs }
+  in
+  if not (Atomic.get fm_cache_on) then finish (eliminate_cs t.cs j)
+  else begin
+    let c = Domain.DLS.get fm_cache_key in
+    let key = (List.sort compare t.cs, j) in
+    match Hashtbl.find_opt c.tbl key with
+    | Some r ->
+        c.hits <- c.hits + 1;
+        finish r
+    | None ->
+        c.misses <- c.misses + 1;
+        let r = eliminate_cs t.cs j in
+        if Hashtbl.length c.tbl >= fm_cache_max then Hashtbl.reset c.tbl;
+        Hashtbl.replace c.tbl key r;
+        finish r
+  end
 
 let project_prefix t k =
   let rec go t j = if j < k then t else go (eliminate_keep t j) (j - 1) in

@@ -28,7 +28,29 @@ val contains : t -> int array -> bool
 val eliminate_keep : t -> int -> t
 (** Fourier–Motzkin elimination of one variable. The dimension count is
     unchanged; the eliminated variable simply no longer occurs in any
-    constraint. Uses an equality pivot when one is available. *)
+    constraint. Uses an equality pivot when one is available.
+
+    Results are memoized per domain, keyed by the canonicalized (sorted)
+    constraint list and the eliminated variable, so repeated projections
+    of the same system (tile-size search, bound queries) are free. A hit
+    for a permuted-but-equal system returns the first computation's
+    result — semantically the same projection, though the constraint
+    order may differ from what an uncached run would produce. Obs
+    counters ([poly.fm_eliminations], [poly.fm_eq_pivots]) are replayed
+    on hits, so counter totals are identical with the cache on or off. *)
+
+val set_fm_cache : bool -> unit
+(** Globally enable/disable the projection cache (on by default). With
+    the cache off every call recomputes; results are structurally
+    identical to a cache-cold computation. *)
+
+val fm_cache_enabled : unit -> bool
+
+val fm_cache_stats : unit -> int * int
+(** [(hits, misses)] of the calling domain's cache. *)
+
+val fm_cache_clear : unit -> unit
+(** Drop the calling domain's cache entries and reset its stats. *)
 
 val project_prefix : t -> int -> t
 (** [project_prefix p k] eliminates every variable with index [>= k]. *)

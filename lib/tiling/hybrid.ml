@@ -24,7 +24,7 @@ type t = {
   classical : Classical.t array;
 }
 
-let make ?(hex_dim = 0) (prog : Stencil.t) ~h ~w =
+let make ?(hex_dim = 0) ?deps ?cone ?hex (prog : Stencil.t) ~h ~w =
   if hex_dim <> 0 then
     invalid_arg "Hybrid.make: only hex_dim = 0 is supported (reorder dims in the IR)";
   (match Stencil.validate prog with
@@ -48,10 +48,23 @@ let make ?(hex_dim = 0) (prog : Stencil.t) ~h ~w =
       Obs.annot "w"
         (Obs.Str
            (Fmt.str "%a" Fmt.(array ~sep:(any ",") int) w));
-      let deps = Obs.span "tiling.dependence_cone" (fun () -> Dep.analyze prog) in
-      let cone = Cone.of_deps deps ~dim:0 in
+      let deps =
+        match deps with
+        | Some d -> d
+        | None -> Obs.span "tiling.dependence_cone" (fun () -> Dep.analyze prog)
+      in
+      let cone = match cone with Some c -> c | None -> Cone.of_deps deps ~dim:0 in
       let hex =
-        Obs.span "tiling.hexagon_make" (fun () -> Hexagon.make ~h ~w0:w.(0) cone)
+        match hex with
+        | Some (hx : Hexagon.t) ->
+            if hx.h <> h || hx.w0 <> w.(0) then
+              invalid_arg
+                (Fmt.str "Hybrid.make: cached hexagon (h=%d, w0=%d) does not match \
+                          requested (h=%d, w0=%d)"
+                   hx.h hx.w0 h w.(0));
+            hx
+        | None ->
+            Obs.span "tiling.hexagon_make" (fun () -> Hexagon.make ~h ~w0:w.(0) cone)
       in
       let hs = Hex_schedule.make hex in
       let classical =

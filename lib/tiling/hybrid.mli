@@ -36,12 +36,28 @@ type t = {
   classical : Classical.t array;  (** for dims 1..n (length dims-1) *)
 }
 
-val make : ?hex_dim:int -> Stencil.t -> h:int -> w:int array -> t
+val make :
+  ?hex_dim:int ->
+  ?deps:Dep.t list ->
+  ?cone:Cone.t ->
+  ?hex:Hexagon.t ->
+  Stencil.t ->
+  h:int ->
+  w:int array ->
+  t
 (** Build the hybrid tiling for a program. [w] has one width per spatial
     dimension. [hex_dim] (default 0) chooses which spatial dimension is
     hexagonally tiled; currently only 0 is supported (the IR convention
     puts the stride-1 dimension last, as the paper requires).
-    Raises [Invalid_argument] on bad sizes or an invalid program. *)
+    Raises [Invalid_argument] on bad sizes or an invalid program.
+
+    [deps], [cone] and [hex] let callers that build many tilings of the
+    same program (the tile-size search) reuse the per-program analysis
+    and the per-[(h, w0)] hexagon instead of recomputing them per
+    candidate. They must equal what [make] would compute itself
+    ([Dep.analyze prog], [Cone.of_deps deps ~dim:0],
+    [Hexagon.make ~h ~w0:w.(0) cone]); a hexagon whose [(h, w0)] does
+    not match is rejected, the rest is trusted. *)
 
 val instance_u : t -> stmt:int -> tstep:int -> int
 (** Canonical schedule time [u = k·t + i]. *)

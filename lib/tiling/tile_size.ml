@@ -2,6 +2,7 @@ open Hextile_ir
 open Hextile_deps
 module Obs = Hextile_obs.Obs
 module Par = Hextile_par.Par
+module M = Tile_model
 
 type stats = {
   iterations : int;
@@ -12,6 +13,14 @@ type stats = {
 }
 
 type choice = { h : int; w : int array; stats : stats }
+
+type report = {
+  candidates : int;
+  feasible : int;
+  pruned_infeasible : int;
+  pruned_dominated : int;
+  exact_evals : int;
+}
 
 (* Memory cell identity: (array, storage slot, spatial indices). *)
 type cell = string * int * int list
@@ -61,7 +70,10 @@ let iter_tile_instances (t : Hybrid.t) ~f =
         go 0
   done
 
-let tile_stats (t : Hybrid.t) =
+(* Reference implementation: hashtables keyed by cons-cell identities.
+   Kept as the oracle the dense accounting below is differentially
+   tested (and benchmarked) against. *)
+let tile_stats_ref (t : Hybrid.t) =
   let written : (cell, unit) Hashtbl.t = Hashtbl.create 256 in
   let loaded : (cell, unit) Hashtbl.t = Hashtbl.create 256 in
   let boxes : (string, (int * int) array) Hashtbl.t = Hashtbl.create 4 in
@@ -125,6 +137,145 @@ let tile_stats (t : Hybrid.t) =
     ratio = float_of_int !loads /. float_of_int !iterations;
   }
 
+(* Dense exact accounting. The analytic footprint gives, per array, the
+   exact bounding box and live-slot set of everything the tile touches;
+   lay those regions out contiguously (slot-major, then row-major over
+   the box) and track written/loaded as two bitsets over flat offsets.
+   Cells are visited in exactly [iter_tile_instances] order, so loads,
+   stores, iterations and the footprint agree bit for bit with
+   [tile_stats_ref] — without a single hashtable lookup or per-access
+   allocation. *)
+let tile_stats_dense (cx : M.ctx) (hs : M.hslice) (fp : M.footprint) ~w =
+  let narr = cx.M.narrays in
+  let base = Array.make narr 0 in
+  let strides = Array.make narr [||] in
+  let spatial_sz = Array.make narr 0 in
+  let slotmap = Array.make narr [||] in
+  let total = ref 0 in
+  for i = 0 to narr - 1 do
+    match fp.M.boxes.(i) with
+    | None -> ()
+    | Some b ->
+        let dims = Array.length b.M.lo in
+        let st = Array.make dims 1 in
+        for d = dims - 2 downto 0 do
+          st.(d) <- st.(d + 1) * (b.M.hi.(d + 1) - b.M.lo.(d + 1) + 1)
+        done;
+        strides.(i) <- st;
+        let spatial = M.volume b in
+        spatial_sz.(i) <- spatial;
+        let slots = fp.M.slots.(i) in
+        let map = Array.make (slots.(Array.length slots - 1) + 1) (-1) in
+        Array.iteri (fun j s -> map.(s) <- j) slots;
+        slotmap.(i) <- map;
+        base.(i) <- !total;
+        total := !total + (spatial * Array.length slots)
+  done;
+  let nbytes = (!total + 7) / 8 in
+  let written = Bytes.make nbytes '\000' and loaded = Bytes.make nbytes '\000' in
+  let get bs i = Char.code (Bytes.get bs (i lsr 3)) land (1 lsl (i land 7)) <> 0 in
+  let set bs i =
+    Bytes.set bs (i lsr 3)
+      (Char.chr (Char.code (Bytes.get bs (i lsr 3)) lor (1 lsl (i land 7))))
+  in
+  (* deferred writes of the current row, as a growable flat-offset buffer *)
+  let pend = ref (Array.make 256 0) and pn = ref 0 in
+  let push x =
+    if !pn = Array.length !pend then begin
+      let a = Array.make (2 * !pn) 0 in
+      Array.blit !pend 0 a 0 !pn;
+      pend := a
+    end;
+    !pend.(!pn) <- x;
+    incr pn
+  in
+  let iterations = ref 0 and loads = ref 0 and stores = ref 0 in
+  let flush () =
+    for i = 0 to !pn - 1 do
+      let x = !pend.(i) in
+      if not (get written x) then begin
+        set written x;
+        incr stores
+      end
+    done;
+    pn := 0
+  in
+  let dims = cx.M.dims in
+  let rel = Array.make dims 0 in
+  (* Flat offset of an access at the row's lowest instance: region base,
+     plus the dense slot page, plus the spatial offset of the box corner
+     the row sweep starts from.  Adding rel·stride per instance then
+     lands on the exact cell. *)
+  let rowbase (row : M.row) (ai : M.ainfo) =
+    let arr = ai.M.arr in
+    let b = match fp.M.boxes.(arr) with Some b -> b | None -> assert false in
+    let st = strides.(arr) in
+    let sdense = slotmap.(arr).(M.slot_of row ai) in
+    let c = ref (base.(arr) + (sdense * spatial_sz.(arr))) in
+    c := !c + ((hs.M.s00 + row.M.blo + ai.M.acc.offsets.(0) - b.M.lo.(0)) * st.(0));
+    for d = 1 to dims - 1 do
+      c :=
+        !c
+        + (((7 * w.(d)) - row.M.fl.(d - 1) + ai.M.acc.offsets.(d) - b.M.lo.(d))
+          * st.(d))
+    done;
+    (!c, st)
+  in
+  Array.iter
+    (fun (row : M.row) ->
+      flush ();
+      let si = cx.M.stmts.(row.M.sidx) in
+      let rbases = Array.map (rowbase row) si.M.reads in
+      let wbase = rowbase row si.M.write in
+      let nreads = Array.length rbases in
+      let leaf () =
+        incr iterations;
+        for r = 0 to nreads - 1 do
+          let c, st = rbases.(r) in
+          let f = ref c in
+          for d = 0 to dims - 1 do
+            f := !f + (rel.(d) * st.(d))
+          done;
+          let f = !f in
+          if not (get written f || get loaded f) then begin
+            incr loads;
+            set loaded f
+          end
+        done;
+        let c, st = wbase in
+        let f = ref c in
+        for d = 0 to dims - 1 do
+          f := !f + (rel.(d) * st.(d))
+        done;
+        push !f
+      in
+      let rec go d =
+        if d = dims then leaf ()
+        else begin
+          let n = if d = 0 then row.M.bhi - row.M.blo + 1 else w.(d) in
+          for i = 0 to n - 1 do
+            rel.(d) <- i;
+            go (d + 1)
+          done
+        end
+      in
+      go 0)
+    hs.M.rows;
+  flush ();
+  {
+    iterations = !iterations;
+    loads = !loads;
+    stores = !stores;
+    footprint_box = fp.M.floats;
+    ratio = float_of_int !loads /. float_of_int !iterations;
+  }
+
+let tile_stats (t : Hybrid.t) =
+  let cx = M.ctx ~deps:t.deps t.prog in
+  let hs = M.hslice_of_hex cx t.hex in
+  let fp = M.footprint hs ~w:t.w in
+  tile_stats_dense cx hs fp ~w:t.w
+
 let iterations_formula_3d ~h ~w0 ~w1 ~w2 =
   2 * (1 + (2 * h) + (h * h) + (w0 * (h + 1))) * w1 * w2
 
@@ -134,15 +285,24 @@ let rec cartesian = function
       let tails = cartesian rest in
       List.concat_map (fun c -> List.map (fun t -> c :: t) tails) choices
 
-let select ?pool prog ~h_candidates ~w0_candidates ~wi_candidates
+(* Same element order as [cartesian], but lazy: a pruned slice never
+   materializes its tail. *)
+let rec cartesian_seq = function
+  | [] -> Seq.return []
+  | choices :: rest ->
+      List.to_seq choices
+      |> Seq.concat_map (fun c -> Seq.map (fun t -> c :: t) (cartesian_seq rest))
+
+(* The frozen pre-staging search: enumerate every candidate eagerly,
+   evaluate all of them with the reference accounting, fold.  This is
+   the oracle the staged engine's choice is differentially tested
+   against, and the baseline `bench tilesearch` times. *)
+let select_exhaustive ?pool prog ~h_candidates ~w0_candidates ~wi_candidates
     ~shared_mem_floats ?require_multiple () =
-  Obs.span "tiling.tile_size_select" (fun () ->
-      Obs.annot "stencil" (Obs.Str prog.Stencil.name);
+  Obs.span "tiling.tile_size_select_exhaustive" (fun () ->
       let k = List.length prog.Stencil.stmts in
       let deps = Dep.analyze prog in
       let cone = Cone.of_deps deps ~dim:0 in
-      (* candidate enumeration is cheap; keep it sequential so the
-         candidate order (and thus every tie-break) is fixed up front *)
       let candidates =
         List.concat_map
           (fun h ->
@@ -167,13 +327,9 @@ let select ?pool prog ~h_candidates ~w0_candidates ~wi_candidates
           h_candidates
         |> Array.of_list
       in
-      (* the expensive per-candidate evaluation (Hybrid.make + point
-         enumeration) is independent per candidate — fan it out; results
-         come back indexed, so the fold below sees the sequential order *)
       let eval (h, w) =
-        Obs.incr "tiling.tilesize_candidates";
         let t = Hybrid.make prog ~h ~w in
-        (h, w, tile_stats t)
+        (h, w, tile_stats_ref t)
       in
       let evaluated =
         match pool with
@@ -181,12 +337,9 @@ let select ?pool prog ~h_candidates ~w0_candidates ~wi_candidates
         | None -> Array.map eval candidates
       in
       let best = ref None in
-      let feasible = ref 0 in
       Array.iter
         (fun (h, w, stats) ->
-          if stats.footprint_box <= shared_mem_floats then begin
-            incr feasible;
-            Obs.incr "tiling.tilesize_feasible";
+          if stats.footprint_box <= shared_mem_floats then
             match !best with
             | None -> best := Some { h; w; stats }
             | Some b ->
@@ -194,11 +347,176 @@ let select ?pool prog ~h_candidates ~w0_candidates ~wi_candidates
                   stats.ratio < b.stats.ratio -. 1e-12
                   || (Float.abs (stats.ratio -. b.stats.ratio) <= 1e-12
                      && stats.iterations > b.stats.iterations)
-                then best := Some { h; w; stats }
-          end)
+                then best := Some { h; w; stats })
         evaluated;
-      Obs.annot "candidates_tried" (Obs.Int (Array.length candidates));
+      !best)
+
+(* Candidate stream, in exactly the order the exhaustive search folds:
+   h outer, then w0, then the cartesian product of the inner widths.
+   The [bool] marks candidates whose whole (h, w0) slice is already
+   known infeasible: the footprint is strictly increasing in every
+   inner width, so if the per-dimension minimum busts the budget the
+   entire product does — those candidates are emitted (they must be
+   counted) but never analyzed further. *)
+let candidate_seq ~k ~cone ~slice ~budget ~h_candidates ~w0_candidates
+    ~wi_candidates ~require_multiple =
+  let wi_nonempty = List.for_all (fun l -> l <> []) wi_candidates in
+  let wi_min =
+    if wi_nonempty then
+      List.map (fun l -> List.fold_left min (List.hd l) (List.tl l)) wi_candidates
+    else []
+  in
+  List.to_seq h_candidates
+  |> Seq.concat_map (fun h ->
+         if (h + 1) mod k <> 0 then Seq.empty
+         else
+           List.to_seq w0_candidates
+           |> Seq.concat_map (fun w0 ->
+                  if w0 < Hexagon.min_w0 ~h cone then Seq.empty
+                  else
+                    let slice_infeasible =
+                      wi_nonempty
+                      && (let hsl : M.hslice = slice h w0 in
+                          let wmin = Array.of_list (w0 :: wi_min) in
+                          (M.footprint hsl ~w:wmin).M.floats > budget)
+                    in
+                    cartesian_seq wi_candidates
+                    |> Seq.filter_map (fun wis ->
+                           let w = Array.of_list (w0 :: wis) in
+                           let innermost = w.(Array.length w - 1) in
+                           let aligned =
+                             match require_multiple with
+                             | Some m -> innermost mod m = 0
+                             | None -> true
+                           in
+                           if aligned then Some (h, w, slice_infeasible) else None)))
+
+let rec seq_take n seq =
+  if n = 0 then ([], seq)
+  else
+    match seq () with
+    | Seq.Nil -> ([], Seq.empty)
+    | Seq.Cons (x, rest) ->
+        let xs, r = seq_take (n - 1) rest in
+        (x :: xs, r)
+
+(* Screening runs on the main domain in candidate order; only the exact
+   evaluation of survivors fans out, one fixed-size wave at a time, so
+   counters, the running upper bound and the final fold are identical at
+   every [--jobs] value. *)
+let wave_size = 32
+
+(* Why pruning cannot change the selected choice: the fold only ever
+   installs a candidate whose exact ratio is within 1e-12 of the
+   running minimum.  [ubound] is maintained as a true upper bound on
+   that minimum (analytic upper bounds of screened candidates, exact
+   ratios of evaluated ones), so a candidate with
+   [lb_ratio > ubound + 1e-6] has an exact ratio strictly above every
+   later value of the running minimum — the 1e-6 margin dwarfs the
+   worst-case 1e-12-per-tie drift of the running best across the whole
+   candidate list.  Removing such a candidate from the fold leaves the
+   sequence of best-updates, and hence the selected choice, bit
+   identical. *)
+let prune_margin = 1e-6
+
+let select_with_report ?pool prog ~h_candidates ~w0_candidates ~wi_candidates
+    ~shared_mem_floats ?require_multiple () =
+  Obs.span "tiling.tile_size_select" (fun () ->
+      Obs.annot "stencil" (Obs.Str prog.Stencil.name);
+      let k = List.length prog.Stencil.stmts in
+      let deps = Dep.analyze prog in
+      let cone = Cone.of_deps deps ~dim:0 in
+      let cx = M.ctx ~deps prog in
+      let slices : (int * int, M.hslice) Hashtbl.t = Hashtbl.create 16 in
+      let slice h w0 =
+        match Hashtbl.find_opt slices (h, w0) with
+        | Some s -> s
+        | None ->
+            let s = M.hslice cx ~h ~w0 in
+            Hashtbl.replace slices (h, w0) s;
+            s
+      in
+      let cands =
+        candidate_seq ~k ~cone ~slice ~budget:shared_mem_floats ~h_candidates
+          ~w0_candidates ~wi_candidates ~require_multiple
+      in
+      let candidates = ref 0
+      and feasible = ref 0
+      and pruned_infeasible = ref 0
+      and pruned_dominated = ref 0
+      and exact_evals = ref 0 in
+      let ubound = ref infinity in
+      let best = ref None in
+      let eval (h, w, hsl, fp) =
+        (h, w, tile_stats_dense cx hsl fp ~w)
+      in
+      let screen (h, w, slice_infeasible) =
+        incr candidates;
+        Obs.incr "tiling.tilesize_candidates";
+        if slice_infeasible then begin
+          incr pruned_infeasible;
+          Obs.incr "tiling.tilesize_pruned_analytic";
+          None
+        end
+        else begin
+          let hsl = slice h w.(0) in
+          let e = M.estimate hsl ~w in
+          if e.M.fp.M.floats > shared_mem_floats then begin
+            incr pruned_infeasible;
+            Obs.incr "tiling.tilesize_pruned_analytic";
+            None
+          end
+          else begin
+            incr feasible;
+            Obs.incr "tiling.tilesize_feasible";
+            let iters = float_of_int e.M.iterations in
+            let lb = float_of_int e.M.loads_lb /. iters in
+            let ub = float_of_int e.M.loads_ub /. iters in
+            let keep = not (lb > !ubound +. prune_margin) in
+            if ub < !ubound then ubound := ub;
+            if keep then Some (h, w, hsl, e.M.fp)
+            else begin
+              incr pruned_dominated;
+              Obs.incr "tiling.tilesize_pruned_analytic";
+              None
+            end
+          end
+        end
+      in
+      let absorb (h, w, stats) =
+        incr exact_evals;
+        Obs.incr "tiling.tilesize_exact_evals";
+        if stats.footprint_box <= shared_mem_floats then begin
+          (match !best with
+          | None -> best := Some { h; w; stats }
+          | Some b ->
+              if
+                stats.ratio < b.stats.ratio -. 1e-12
+                || (Float.abs (stats.ratio -. b.stats.ratio) <= 1e-12
+                   && stats.iterations > b.stats.iterations)
+              then best := Some { h; w; stats });
+          if stats.ratio < !ubound then ubound := stats.ratio
+        end
+      in
+      let rec drain seq =
+        let wave, rest = seq_take wave_size seq in
+        if wave <> [] then begin
+          let survivors = Array.of_list (List.filter_map screen wave) in
+          let results =
+            match pool with
+            | Some p -> Par.map p eval survivors
+            | None -> Array.map eval survivors
+          in
+          Array.iter absorb results;
+          drain rest
+        end
+      in
+      drain cands;
+      Obs.annot "candidates_tried" (Obs.Int !candidates);
       Obs.annot "candidates_feasible" (Obs.Int !feasible);
+      Obs.annot "candidates_pruned_analytic"
+        (Obs.Int (!pruned_infeasible + !pruned_dominated));
+      Obs.annot "exact_evals" (Obs.Int !exact_evals);
       (match !best with
       | Some c ->
           Obs.annot "chosen_h" (Obs.Int c.h);
@@ -206,7 +524,20 @@ let select ?pool prog ~h_candidates ~w0_candidates ~wi_candidates
             (Obs.Str (Fmt.str "%a" Fmt.(array ~sep:(any ",") int) c.w));
           Obs.annot "chosen_ratio" (Obs.Float c.stats.ratio)
       | None -> Obs.annot "chosen_h" (Obs.Str "none"));
-      !best)
+      ( !best,
+        {
+          candidates = !candidates;
+          feasible = !feasible;
+          pruned_infeasible = !pruned_infeasible;
+          pruned_dominated = !pruned_dominated;
+          exact_evals = !exact_evals;
+        } ))
+
+let select ?pool prog ~h_candidates ~w0_candidates ~wi_candidates
+    ~shared_mem_floats ?require_multiple () =
+  fst
+    (select_with_report ?pool prog ~h_candidates ~w0_candidates ~wi_candidates
+       ~shared_mem_floats ?require_multiple ())
 
 let pp_stats ppf s =
   Fmt.pf ppf "iters=%d loads=%d stores=%d box=%d ratio=%.4f" s.iterations s.loads
@@ -214,3 +545,7 @@ let pp_stats ppf s =
 
 let pp_choice ppf c =
   Fmt.pf ppf "h=%d w=[%a] %a" c.h Fmt.(array ~sep:(any ", ") int) c.w pp_stats c.stats
+
+let pp_report ppf r =
+  Fmt.pf ppf "candidates=%d feasible=%d pruned(infeasible=%d dominated=%d) exact_evals=%d"
+    r.candidates r.feasible r.pruned_infeasible r.pruned_dominated r.exact_evals

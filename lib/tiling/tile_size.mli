@@ -1,11 +1,21 @@
 (** Tile size selection by load-to-compute ratio (Section 3.7).
 
-    For a generic (non-boundary) tile the number of iterations and the
-    number of global loads are computed exactly by enumerating the tile's
-    integer points — the automated counterpart of the paper's manually
-    derived counting functions. Candidate sizes whose shared-memory
-    footprint (rectangular-box over-approximation, as allocated by the
-    code generator) fits the budget are ranked by loads/iteration. *)
+    A staged search. The analytic fast layer ({!Tile_model}) computes
+    the exact iteration count and shared-memory footprint and sound
+    load-ratio bounds of every candidate in closed form, rejecting
+    infeasible and ratio-dominated candidates without enumerating a
+    single statement instance — whole [(h, w0)] slices at once when the
+    per-dimension minimum inner widths already bust the budget. Only
+    the survivors reach the exact slow layer, which counts loads and
+    stores with dense bitsets over the analytic footprint boxes (no
+    hashing, no per-access allocation).
+
+    Determinism contract: the selected {!choice} is bit-identical to
+    the frozen exhaustive search ({!select_exhaustive}) on every
+    program and candidate grid, at every [--jobs] value — pruning only
+    removes candidates whose exact ratio provably exceeds every later
+    value of the fold's running minimum, and all screening runs on the
+    main domain in candidate order. *)
 
 open Hextile_ir
 
@@ -21,8 +31,21 @@ type stats = {
 
 type choice = { h : int; w : int array; stats : stats }
 
+type report = {
+  candidates : int;  (** candidates generated (post grid filters) *)
+  feasible : int;  (** candidates whose exact footprint fits the budget *)
+  pruned_infeasible : int;  (** rejected analytically on footprint *)
+  pruned_dominated : int;  (** rejected analytically on ratio bounds *)
+  exact_evals : int;  (** candidates that reached the exact layer *)
+}
+
 val tile_stats : Hybrid.t -> stats
-(** Statistics of one generic interior tile of the given tiling. *)
+(** Statistics of one generic interior tile of the given tiling
+    (dense-bitset accounting). *)
+
+val tile_stats_ref : Hybrid.t -> stats
+(** Reference implementation (hashtables keyed by cell identities);
+    slower, kept as the differential-testing oracle for {!tile_stats}. *)
 
 val iterations_formula_3d : h:int -> w0:int -> w1:int -> w2:int -> int
 (** The paper's closed form [2(1+2h+h²+w0(h+1))·w1·w2], valid for
@@ -38,12 +61,39 @@ val select :
   ?require_multiple:int ->
   unit ->
   choice option
-(** Exhaustive search over the candidate lists; [wi_candidates] has one
+(** Staged search over the candidate lists; [wi_candidates] has one
     list per inner spatial dimension. [require_multiple] constrains the
     innermost width (warp-size alignment, Section 4.2.3). [h] candidates
     violating the [h+1 ≡ 0 (mod k)] rule or [w0] below the convexity
     minimum are skipped silently. Returns the feasible choice with the
     smallest load-to-compute ratio (ties: more iterations first). *)
 
+val select_with_report :
+  ?pool:Hextile_par.Par.pool ->
+  Stencil.t ->
+  h_candidates:int list ->
+  w0_candidates:int list ->
+  wi_candidates:int list list ->
+  shared_mem_floats:int ->
+  ?require_multiple:int ->
+  unit ->
+  choice option * report
+(** Like {!select}, additionally returning the search counters. *)
+
+val select_exhaustive :
+  ?pool:Hextile_par.Par.pool ->
+  Stencil.t ->
+  h_candidates:int list ->
+  w0_candidates:int list ->
+  wi_candidates:int list list ->
+  shared_mem_floats:int ->
+  ?require_multiple:int ->
+  unit ->
+  choice option
+(** The frozen pre-staging search: every candidate evaluated exactly
+    with {!tile_stats_ref}, no pruning. Oracle and benchmark baseline;
+    {!select} must return the same choice. *)
+
 val pp_stats : stats Fmt.t
 val pp_choice : choice Fmt.t
+val pp_report : report Fmt.t

@@ -99,6 +99,36 @@ let test_grid_bounds () =
   Alcotest.(check bool) "wrong arity raises" true
     (match Grid.get g [| 0 |] with exception Invalid_argument _ -> true | _ -> false)
 
+let test_grid_equal_short_circuit () =
+  let tbl = Grid.alloc Suite.heat1d (test_env Suite.heat1d) in
+  let g = Grid.find tbl "A" in
+  let h = { g with data = Array.copy g.data } in
+  Alcotest.(check bool) "copies equal" true (Grid.equal g h);
+  h.data.(0) <- h.data.(0) +. 1.0;
+  Alcotest.(check bool) "first element differs" false (Grid.equal g h);
+  Alcotest.(check bool) "eps absorbs the difference" true (Grid.equal ~eps:2.0 g h);
+  Alcotest.(check bool) "length mismatch" false
+    (Grid.equal g { g with data = Array.make 1 0.0; dims = [| 1 |] });
+  (* a mismatch in the first element must stop the scan: comparing grids
+     that differ at index 0 should not touch the remaining million
+     elements, so it runs far faster than a full equal-grid scan *)
+  let n = 1_000_000 in
+  let mk v = { g with dims = [| n |]; data = Array.make n v } in
+  let a = mk 0.5 and b = mk 0.5 in
+  let diff = mk 0.5 in
+  diff.data.(0) <- 1.0;
+  let time k f =
+    let t0 = Sys.time () in
+    for _ = 1 to k do
+      ignore (f ())
+    done;
+    Sys.time () -. t0
+  in
+  let full = time 20 (fun () -> Grid.equal a b) in
+  let short = time 20 (fun () -> Grid.equal a diff) in
+  Alcotest.(check bool) "early exit beats full scan" true
+    (short < (full /. 5.0) +. 1e-4)
+
 let test_grid_slot () =
   let tbl = Grid.alloc Suite.contrived (test_env Suite.contrived) in
   let g = Grid.find tbl "A" in
@@ -253,6 +283,8 @@ let suite =
     Alcotest.test_case "grid alloc" `Quick test_grid_alloc;
     Alcotest.test_case "grid bounds checks" `Quick test_grid_bounds;
     Alcotest.test_case "grid fold slots" `Quick test_grid_slot;
+    Alcotest.test_case "grid equal short-circuits" `Quick
+      test_grid_equal_short_circuit;
     Alcotest.test_case "interp fixpoint" `Quick test_interp_fixpoint;
     Alcotest.test_case "interp runs all benchmarks" `Quick test_interp_runs;
     Alcotest.test_case "stencil_updates" `Quick test_stencil_updates;

@@ -261,6 +261,55 @@ let prop_qaff_affine_roundtrip =
           Qaff.eval e env
           = (coeffs.(0) * x) + (coeffs.(1) * y) + (coeffs.(2) * z) + c)
 
+let test_count_vs_enumerate () =
+  let sp = Space.make [ "x"; "y" ] in
+  let fixtures =
+    [
+      triangle;
+      (* square with an equality: y = 2, 0 <= x <= 3 *)
+      Polyhedron.make sp
+        [ Constr.eq [| 0; 1 |] (-2); Constr.ge [| 1; 0 |] 0; Constr.ge [| -1; 0 |] 3 ];
+      (* empty *)
+      Polyhedron.make sp
+        [ Constr.ge [| 1; 0 |] 0; Constr.ge [| -1; 0 |] (-1); Constr.ge [| 0; 1 |] 0;
+          Constr.ge [| 0; -1 |] 4 ];
+    ]
+  in
+  List.iter
+    (fun p ->
+      Alcotest.(check int) "count = |enumerate|"
+        (List.length (Polyhedron.enumerate p))
+        (Polyhedron.count p))
+    fixtures
+
+let test_fm_cache () =
+  Alcotest.(check bool) "cache on by default" true (Polyhedron.fm_cache_enabled ());
+  Polyhedron.fm_cache_clear ();
+  let p1 = Polyhedron.eliminate_keep triangle 1 in
+  let h0, m0 = Polyhedron.fm_cache_stats () in
+  Alcotest.(check (pair int int)) "first elimination misses" (0, 1) (h0, m0);
+  let p2 = Polyhedron.eliminate_keep triangle 1 in
+  let h1, m1 = Polyhedron.fm_cache_stats () in
+  Alcotest.(check (pair int int)) "second elimination hits" (1, 1) (h1, m1);
+  Alcotest.(check bool) "hit is structurally equal" true (p1 = p2);
+  (* the cache-disabled path recomputes the identical polyhedron *)
+  Polyhedron.set_fm_cache false;
+  let p3 = Polyhedron.eliminate_keep triangle 1 in
+  let h2, m2 = Polyhedron.fm_cache_stats () in
+  Polyhedron.set_fm_cache true;
+  Alcotest.(check bool) "disabled path bypasses stats" true (h2 = h1 && m2 = m1);
+  Alcotest.(check bool) "disabled path identical" true (p3 = p1);
+  (* projections through the cache still agree with point enumeration *)
+  Polyhedron.fm_cache_clear ();
+  let proj () =
+    let q = Polyhedron.eliminate_keep triangle 1 in
+    List.filter (fun x -> Polyhedron.contains q [| x; 0 |]) (Intutil.range (-2) 6)
+  in
+  let a = proj () in
+  let b = proj () in
+  Alcotest.(check (list int)) "cached projection onto x" [ 0; 1; 2; 3; 4 ] a;
+  Alcotest.(check (list int)) "hit equals miss" a b
+
 let suite =
   [
     Alcotest.test_case "contains" `Quick test_contains;
@@ -270,6 +319,8 @@ let suite =
     Alcotest.test_case "integer gap (2x=1)" `Quick test_integer_gap;
     Alcotest.test_case "unbounded detection" `Quick test_unbounded;
     Alcotest.test_case "FM elimination" `Quick test_eliminate;
+    Alcotest.test_case "count vs enumerate" `Quick test_count_vs_enumerate;
+    Alcotest.test_case "FM projection cache" `Quick test_fm_cache;
     Alcotest.test_case "equality pivot" `Quick test_equality_pivot;
     Alcotest.test_case "var_bounds" `Quick test_var_bounds;
     Alcotest.test_case "LP optimize" `Quick test_lp;

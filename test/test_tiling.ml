@@ -427,6 +427,157 @@ let prop_diamond_partition =
       let a, b = Diamond.tile_of d ~t' ~s in
       List.mem (t', s) (Diamond.tile_points d ~a ~b))
 
+(* ---- staged tile-size search vs the frozen exhaustive oracle ---------- *)
+
+let grids_for (prog : Hextile_ir.Stencil.t) =
+  let dims = Hextile_ir.Stencil.spatial_dims prog in
+  let wi =
+    List.init (dims - 1) (fun d -> if d = dims - 2 then [ 8; 16; 32 ] else [ 2; 4 ])
+  in
+  ([ 1; 2; 3; 5 ], [ 2; 4; 6 ], wi)
+
+let check_same_choice name a b =
+  match (a, b) with
+  | None, None -> ()
+  | Some (ca : Tile_size.choice), Some (cb : Tile_size.choice) ->
+      Alcotest.(check int) (name ^ ": h") ca.h cb.h;
+      Alcotest.(check (array int)) (name ^ ": w") ca.w cb.w;
+      Alcotest.(check int) (name ^ ": iterations") ca.stats.iterations
+        cb.stats.iterations;
+      Alcotest.(check int) (name ^ ": loads") ca.stats.loads cb.stats.loads;
+      Alcotest.(check int) (name ^ ": stores") ca.stats.stores cb.stats.stores;
+      Alcotest.(check int) (name ^ ": footprint") ca.stats.footprint_box
+        cb.stats.footprint_box;
+      Alcotest.(check bool)
+        (name ^ ": ratio bit-identical")
+        true
+        (Int64.equal
+           (Int64.bits_of_float ca.stats.ratio)
+           (Int64.bits_of_float cb.stats.ratio))
+  | Some _, None -> Alcotest.failf "%s: staged found a choice, oracle none" name
+  | None, Some _ -> Alcotest.failf "%s: oracle found a choice, staged none" name
+
+let test_staged_matches_exhaustive_table3 () =
+  List.iter
+    (fun (prog : Hextile_ir.Stencil.t) ->
+      let hc, w0c, wi = grids_for prog in
+      let oracle =
+        Tile_size.select_exhaustive prog ~h_candidates:hc ~w0_candidates:w0c
+          ~wi_candidates:wi ~shared_mem_floats:4096 ~require_multiple:8 ()
+      in
+      let staged, report =
+        Tile_size.select_with_report prog ~h_candidates:hc ~w0_candidates:w0c
+          ~wi_candidates:wi ~shared_mem_floats:4096 ~require_multiple:8 ()
+      in
+      check_same_choice (prog.name ^ " (seq)") staged oracle;
+      Alcotest.(check bool)
+        (prog.name ^ ": evals <= candidates")
+        true
+        (report.exact_evals <= report.candidates
+        && report.exact_evals + report.pruned_infeasible + report.pruned_dominated
+           = report.candidates);
+      (* a worker pool must not change the choice or the counters *)
+      Hextile_par.Par.with_pool ~jobs:2 (fun pool ->
+          let staged_par, report_par =
+            Tile_size.select_with_report ~pool prog ~h_candidates:hc
+              ~w0_candidates:w0c ~wi_candidates:wi ~shared_mem_floats:4096
+              ~require_multiple:8 ()
+          in
+          check_same_choice (prog.name ^ " (par)") staged_par oracle;
+          Alcotest.(check bool)
+            (prog.name ^ ": report jobs-invariant")
+            true
+            (report = report_par)))
+    Suite.table3
+
+let test_staged_matches_exhaustive_fuzzed () =
+  let rng = Hextile_check.Rng.create 0x7113512e in
+  for i = 0 to 11 do
+    let prog, _params = Hextile_check.Gen.generate (Hextile_check.Rng.derive rng i) in
+    let dims = Hextile_ir.Stencil.spatial_dims prog in
+    let wi = List.init (dims - 1) (fun _ -> [ 1; 2; 4 ]) in
+    let hc = [ 0; 1; 2; 3; 5 ] and w0c = [ 1; 2; 4 ] in
+    let oracle =
+      Tile_size.select_exhaustive prog ~h_candidates:hc ~w0_candidates:w0c
+        ~wi_candidates:wi ~shared_mem_floats:2048 ()
+    in
+    let staged =
+      Tile_size.select prog ~h_candidates:hc ~w0_candidates:w0c ~wi_candidates:wi
+        ~shared_mem_floats:2048 ()
+    in
+    check_same_choice (Fmt.str "fuzz #%d %s (seq)" i prog.name) staged oracle;
+    Hextile_par.Par.with_pool ~jobs:2 (fun pool ->
+        let staged_par =
+          Tile_size.select ~pool prog ~h_candidates:hc ~w0_candidates:w0c
+            ~wi_candidates:wi ~shared_mem_floats:2048 ()
+        in
+        check_same_choice (Fmt.str "fuzz #%d %s (par)" i prog.name) staged_par oracle)
+  done
+
+(* dense-bitset accounting vs the hashtable reference, all benchmarks *)
+let test_dense_stats_match_ref () =
+  List.iter
+    (fun (prog : Hextile_ir.Stencil.t) ->
+      let k = List.length prog.stmts in
+      let h = (2 * k) - 1 in
+      let deps = Dep.analyze prog in
+      let c = Cone.of_deps deps ~dim:0 in
+      let w0 = max 2 (Hexagon.min_w0 ~h c) in
+      let t = hybrid_of prog h [ w0 ] in
+      let d = Tile_size.tile_stats t and r = Tile_size.tile_stats_ref t in
+      Alcotest.(check int) (prog.name ^ ": iterations") r.iterations d.iterations;
+      Alcotest.(check int) (prog.name ^ ": loads") r.loads d.loads;
+      Alcotest.(check int) (prog.name ^ ": stores") r.stores d.stores;
+      Alcotest.(check int) (prog.name ^ ": footprint") r.footprint_box
+        d.footprint_box)
+    Suite.all
+
+let prop_dense_stats_match_ref_random =
+  QCheck.Test.make ~name:"dense tile stats = reference on random sizes" ~count:20
+    QCheck.(triple (int_range 0 4) (int_range 0 3) (int_range 1 8))
+    (fun (h, w0extra, w1) ->
+      let prog = Suite.jacobi2d in
+      let deps = Dep.analyze prog in
+      let c = Cone.of_deps deps ~dim:0 in
+      let w0 = max 1 (Hexagon.min_w0 ~h c + w0extra) in
+      let t = Hybrid.make prog ~h ~w:[| w0; w1 |] in
+      Tile_size.tile_stats t = Tile_size.tile_stats_ref t)
+
+(* the paper's closed form agrees with exact enumeration on every 3D
+   benchmark across a grid of sizes (they all have δ0 = δ1 = 1) *)
+let test_formula_3d_matches_enumeration () =
+  List.iter
+    (fun (prog : Hextile_ir.Stencil.t) ->
+      List.iter
+        (fun h ->
+          List.iter
+            (fun w0 ->
+              List.iter
+                (fun w1 ->
+                  List.iter
+                    (fun w2 ->
+                      let t = Hybrid.make prog ~h ~w:[| w0; w1; w2 |] in
+                      let s = Tile_size.tile_stats t in
+                      Alcotest.(check int)
+                        (Fmt.str "%s h=%d w=(%d,%d,%d)" prog.name h w0 w1 w2)
+                        (Tile_size.iterations_formula_3d ~h ~w0 ~w1 ~w2)
+                        s.iterations)
+                    [ 4; 8 ])
+                [ 2; 3 ])
+            [ 2; 5 ])
+        [ 1; 2 ])
+    (List.filter
+       (fun (p : Hextile_ir.Stencil.t) -> Hextile_ir.Stencil.spatial_dims p = 3)
+       Suite.table3)
+
+let test_dep_memo_shared () =
+  let a = Dep.analyze Suite.heat2d in
+  let b = Dep.analyze Suite.heat2d in
+  Alcotest.(check bool) "memoized analyze returns the shared list" true (a == b);
+  let u = Dep.analyze_uncached Suite.heat2d in
+  Alcotest.(check bool) "uncached result is fresh but equal" true
+    (u = a && not (u == a))
+
 let suite =
   [
     Alcotest.test_case "min_w0 (condition (1))" `Quick test_min_w0_paper_example;
@@ -462,4 +613,14 @@ let suite =
     Alcotest.test_case "diamond wavefront legality" `Quick test_diamond_wavefront;
     QCheck_alcotest.to_alcotest prop_diamond_partition;
     QCheck_alcotest.to_alcotest prop_tile_poly_matches_points;
+    Alcotest.test_case "staged select = exhaustive (Table 3)" `Slow
+      test_staged_matches_exhaustive_table3;
+    Alcotest.test_case "staged select = exhaustive (fuzzed)" `Slow
+      test_staged_matches_exhaustive_fuzzed;
+    Alcotest.test_case "dense stats = reference (all benchmarks)" `Quick
+      test_dense_stats_match_ref;
+    QCheck_alcotest.to_alcotest prop_dense_stats_match_ref_random;
+    Alcotest.test_case "3D iteration formula = enumeration" `Quick
+      test_formula_3d_matches_enumeration;
+    Alcotest.test_case "dependence analysis memoized" `Quick test_dep_memo_shared;
   ]
