@@ -140,6 +140,91 @@ let parcmp ~jobs ~quick () =
       ("rows", Experiments.table12_json Device.gtx470 rows_n);
     ]
 
+(* ---- executor benchmark: tape engine vs closure reference ------------ *)
+
+module Common = Hextile_schemes.Common
+module Counters = Hextile_gpusim.Counters
+
+(* Wall-clock comparison of the warp-batched tape engine (with
+   tile-class stream memoization in the hybrid scheme) against the
+   closure-tree reference interpreter, over the Table 3 suite on the
+   hybrid scheme, plus the bit-exactness and jobs-determinism checks.
+   Fails if any counter/grid diverges or the total speedup drops below
+   3x. The JSON lands in BENCH_sim.json via `make bench-sim`. *)
+let simcmp ~jobs ~quick () =
+  section
+    (Fmt.str "Execution engine: tape+memo vs closure reference (Table 3, jobs=%d)"
+       jobs);
+  let dev = Device.gtx470 in
+  let rows = ref [] in
+  let tot_ref = ref 0.0 and tot_tape = ref 0.0 and tot_par = ref 0.0 in
+  let identical (a : Common.result) (b : Common.result) =
+    Counters.to_assoc a.counters = Counters.to_assoc b.counters
+    && a.updates = b.updates && a.blocks = b.blocks
+    && Hashtbl.fold
+         (fun name g acc ->
+           acc && Hextile_ir.Grid.equal g (Hextile_ir.Grid.find b.grids name))
+         a.grids true
+  in
+  List.iter
+    (fun (prog : Hextile_ir.Stencil.t) ->
+      let env = Experiments.sizes ~quick prog in
+      let timed f =
+        let t0 = Unix.gettimeofday () in
+        let r = f () in
+        (r, Unix.gettimeofday () -. t0)
+      in
+      let run ?pool engine () =
+        Experiments.run_scheme ?pool ~engine ~verify:false Experiments.Hybrid
+          prog env dev
+      in
+      let r_ref, t_ref = timed (run Common.Ref) in
+      let r_tape, t_tape = timed (run Common.Tape) in
+      let r_par, t_par =
+        timed (fun () -> Par.with_pool ~jobs @@ fun pool -> run ~pool Common.Tape ())
+      in
+      if not (identical r_ref r_tape) then
+        failwith (Fmt.str "simcmp: %s tape result differs from reference" prog.name);
+      if not (identical r_ref r_par) then
+        failwith
+          (Fmt.str "simcmp: %s tape result differs at jobs=%d" prog.name jobs);
+      tot_ref := !tot_ref +. t_ref;
+      tot_tape := !tot_tape +. t_tape;
+      tot_par := !tot_par +. t_par;
+      Fmt.pr
+        "%-12s ref %7.1f ms  tape %7.1f ms (%4.1fx)  tape(jobs=%d) %7.1f ms  \
+         blocks %d (%d memoized)@."
+        prog.name (1000. *. t_ref) (1000. *. t_tape) (t_ref /. t_tape) jobs
+        (1000. *. t_par) r_tape.blocks r_tape.blocks_memoized;
+      rows :=
+        ( prog.name,
+          Json.Obj
+            [
+              ("t_ref_s", Json.Float t_ref);
+              ("t_tape_s", Json.Float t_tape);
+              ("t_tape_par_s", Json.Float t_par);
+              ("speedup", Json.Float (t_ref /. t_tape));
+              ("blocks", Json.Int r_tape.blocks);
+              ("blocks_memoized", Json.Int r_tape.blocks_memoized);
+              ("identical", Json.Bool true);
+            ] )
+        :: !rows)
+    Suite.table3;
+  let speedup = !tot_ref /. !tot_tape in
+  Fmt.pr "total: ref %.2f s, tape %.2f s (%.2fx), tape jobs=%d %.2f s@." !tot_ref
+    !tot_tape speedup jobs !tot_par;
+  if speedup < 3.0 then
+    failwith (Fmt.str "simcmp: tape engine speedup %.2fx below the 3x floor" speedup);
+  Json.Obj
+    [
+      ("jobs", Json.Int jobs);
+      ("t_ref_s", Json.Float !tot_ref);
+      ("t_tape_s", Json.Float !tot_tape);
+      ("t_tape_par_s", Json.Float !tot_par);
+      ("speedup", Json.Float speedup);
+      ("stencils", Json.Obj (List.rev !rows));
+    ]
+
 (* ---- staged tile-size search benchmark: staged vs exhaustive --------- *)
 
 module Tile_size = Hextile_tiling.Tile_size
@@ -392,6 +477,7 @@ let () =
       ("table2", table2 ~pool ~quick);
       ("table45", tables45 ~pool ~quick);
       ("parcmp", parcmp ~jobs ~quick);
+      ("simcmp", simcmp ~jobs ~quick);
       ("tilesearch", tilesearch ~jobs ~quick);
       ("micro", micro);
     ]
@@ -399,10 +485,13 @@ let () =
   let selected =
     match !only with
     | [] ->
-        (* micro has its own timing loop; parcmp and tilesearch spawn
-           their own pools and time things — all run only on request *)
+        (* micro has its own timing loop; parcmp, tilesearch and simcmp
+           spawn their own pools and time things — all run only on
+           request *)
         List.filter
-          (fun id -> id <> "micro" && id <> "parcmp" && id <> "tilesearch")
+          (fun id ->
+            id <> "micro" && id <> "parcmp" && id <> "tilesearch"
+            && id <> "simcmp")
           (List.map fst all)
     | l ->
         List.concat_map

@@ -189,14 +189,29 @@ let scheme_arg =
         Experiments.Hybrid
     & info [ "scheme" ] ~doc:"Tiling scheme to execute.")
 
+let engine_arg =
+  Arg.(
+    value
+    & opt (enum [ ("tape", Common.Tape); ("ref", Common.Ref) ]) Common.Tape
+    & info [ "engine" ]
+        ~doc:
+          "Execution engine: the warp-batched register $(b,tape) (default) or \
+           the per-lane closure $(b,ref)erence interpreter.")
+
 let run_cmd =
-  let run file builtin scheme dev n t trace jobs =
+  let run file builtin scheme engine dev n t trace jobs =
     with_prog file builtin (fun prog ->
         with_trace trace (fun () ->
             Par.with_pool ~jobs @@ fun pool ->
             let env = [ ("N", n); ("T", t) ] in
-            match Experiments.run_scheme ~pool scheme prog env dev with
+            let t0 = Unix.gettimeofday () in
+            match Experiments.run_scheme ~pool ~engine scheme prog env dev with
             | r ->
+                (* like tilesize: the simulation summary goes to stderr
+                   unconditionally so stdout stays parseable *)
+                Fmt.epr "sim: wall=%.3fms blocks=%d memoized=%d@."
+                  (1000.0 *. (Unix.gettimeofday () -. t0))
+                  r.blocks r.blocks_memoized;
                 Fmt.pr "%s on %s, N=%d T=%d: verified OK@." r.scheme prog.name n t;
                 Fmt.pr "updates            %d@." r.updates;
                 Fmt.pr "GStencils/s        %.3f@." (Common.gstencils_per_s r);
@@ -212,8 +227,8 @@ let run_cmd =
     (Cmd.info "run"
        ~doc:"Simulate a scheme on the GPU model and verify against the reference.")
     Term.(
-      const run $ file_arg $ builtin_arg $ scheme_arg $ device_arg $ n_arg $ t_arg
-      $ trace_arg $ jobs_arg)
+      const run $ file_arg $ builtin_arg $ scheme_arg $ engine_arg $ device_arg
+      $ n_arg $ t_arg $ trace_arg $ jobs_arg)
 
 let tilesize_cmd =
   let run file builtin trace jobs =

@@ -88,7 +88,7 @@ let verify_result (r : Common.result) prog env =
       (Fmt.str "%s on %s: executed %d statement instances, reference has %d"
          r.scheme prog.Stencil.name r.updates expected)
 
-let run_scheme ?pool ?(verify = true) scheme (prog : Stencil.t) env dev =
+let run_scheme ?pool ?engine ?(verify = true) scheme (prog : Stencil.t) env dev =
   Obs.span "experiments.run_scheme" @@ fun () ->
   Obs.annot "scheme" (Obs.Str (scheme_name scheme));
   Obs.annot "stencil" (Obs.Str prog.name);
@@ -97,9 +97,9 @@ let run_scheme ?pool ?(verify = true) scheme (prog : Stencil.t) env dev =
   let e = env_fn env in
   let r =
     match scheme with
-    | Ppcg -> Ppcg.run ?pool prog e dev
-    | Par4all -> Par4all.run ?pool prog e dev
-    | Overtile -> Overtile.run ?pool prog e dev
+    | Ppcg -> Ppcg.run ?pool ?engine prog e dev
+    | Par4all -> Par4all.run ?pool ?engine prog e dev
+    | Overtile -> Overtile.run ?pool ?engine prog e dev
     | Patus ->
         (* Patus modelled as autotuned space tiling: pick the better of two
            block shapes by simulated time. *)
@@ -112,15 +112,15 @@ let run_scheme ?pool ?(verify = true) scheme (prog : Stencil.t) env dev =
         List.fold_left
           (fun best tile ->
             let r =
-              Ppcg.run ?pool ~config:{ tile = Some tile } ~name:"patus" prog e
-                dev
+              Ppcg.run ?pool ?engine ~config:{ tile = Some tile } ~name:"patus"
+                prog e dev
             in
             match best with
             | Some b when Common.total_time b <= Common.total_time r -> Some b
             | _ -> Some r)
           None cands
         |> Option.get
-    | Hybrid -> Hybrid_exec.run ?pool prog e dev
+    | Hybrid -> Hybrid_exec.run ?pool ?engine prog e dev
   in
   if verify then Obs.span "experiments.verify" (fun () -> verify_result r prog env);
   r

@@ -29,6 +29,7 @@ val scaled_device : Device.t -> Stencil.t -> (string * int) list -> Device.t
 
 val run_scheme :
   ?pool:Hextile_par.Par.pool ->
+  ?engine:Common.engine ->
   ?verify:bool ->
   scheme ->
   Stencil.t ->

@@ -9,6 +9,8 @@ type t = {
   addr : Addrmap.t;
   mutable launches : launch list;
   mutable blocks_in_flight : int;
+  epoch : int Atomic.t;  (** bumped per launch; part of {!generation} *)
+  blocks_memoized : int Atomic.t;  (** blocks retired by {!replay_stream} *)
 }
 
 and launch = {
@@ -33,6 +35,8 @@ let create (dev : Device.t) =
     addr = Addrmap.create ();
     launches = [];
     blocks_in_flight = 0;
+    epoch = Atomic.make 0;
+    blocks_memoized = Atomic.make 0;
   }
 
 (* ---- parallel-execution shadows ---------------------------------------- *)
@@ -65,7 +69,14 @@ type shadow = {
   sc : Counters.t;  (** per-domain accumulator, added into [total] at join *)
   sl1 : L2.t;  (** private L1 replica (reset per block, like the real one) *)
   mutable strace : tbuf;  (** current block's L2 trace: (line lsl 1) lor write *)
+  sserial : int;  (** unique per shadow; part of {!generation} *)
 }
+
+(* Unique shadow identities: two chunks of one launch scheduled onto the
+   same domain must still look like different generations to per-chunk
+   memo tables, or memoized-block counts would depend on work-stealing
+   order. *)
+let shadow_serials = Atomic.make 0
 
 let shadow_key : shadow option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 
@@ -73,6 +84,61 @@ let shadow t =
   match Domain.DLS.get shadow_key with
   | Some s when s.owner == t -> Some s
   | _ -> None
+
+let generation t =
+  let serial = match shadow t with Some s -> s.sserial | None -> 0 in
+  (Atomic.get t.epoch, serial)
+
+(* ---- address-stream recording ----------------------------------------- *)
+
+(* While a recording is active on the current domain, every batched warp
+   event is appended to the stream (with global addresses classified into
+   array regions). Per-lane warp events carry information the stream
+   cannot represent (arbitrary option arrays, sanitizer thread ids), so
+   they invalidate the recording instead — a missing stream only costs
+   the memoization, never correctness. *)
+
+type recording = {
+  rowner : t;
+  rstream : Tileclass.stream;
+  region_of : int -> int;  (** byte address -> region id, or negative *)
+  mutable rvalid : bool;
+}
+
+let record_key : recording option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let recording_active t =
+  match Domain.DLS.get record_key with
+  | Some r -> r.rowner == t && r.rvalid
+  | None -> false
+
+let record_begin t ~region_of =
+  Domain.DLS.set record_key
+    (Some { rowner = t; rstream = Tileclass.create (); region_of; rvalid = true })
+
+let record_end t =
+  match Domain.DLS.get record_key with
+  | Some r when r.rowner == t ->
+      Domain.DLS.set record_key None;
+      if r.rvalid then Some r.rstream else None
+  | _ -> None
+
+let record_invalidate t =
+  match Domain.DLS.get record_key with
+  | Some r when r.rowner == t -> r.rvalid <- false
+  | _ -> ()
+
+let record_compute t ~stmt ~tstep ~waddr ~srcs ~n =
+  match Domain.DLS.get record_key with
+  | Some r when r.rowner == t && r.rvalid ->
+      let wregion = r.region_of waddr in
+      let sregions = Array.map r.region_of srcs in
+      if wregion < 0 || Array.exists (fun x -> x < 0) sregions then
+        r.rvalid <- false
+      else
+        Tileclass.push r.rstream
+          (Compute { stmt; tstep; wregion; waddr; sregions; srcs; n })
+  | _ -> ()
 
 let active addrs =
   Array.fold_left (fun n a -> if a = None then n else n + 1) 0 addrs
@@ -89,61 +155,170 @@ let lines_of dev addrs =
     addrs;
   !seen
 
+(* One coalesced load transaction: L1 probe, then the shared L2 (online)
+   or the per-domain trace (shadowed). *)
+let load_line t sh (c : Counters.t) line =
+  c.gld_transactions <- c.gld_transactions + 1;
+  let addr = line * t.dev.line_bytes in
+  match sh with
+  | None ->
+      let l1 = t.dev.l1_bytes > 0 && (L2.access t.l1 ~addr ~write:false).hit in
+      if not l1 then begin
+        c.l2_read_transactions <- c.l2_read_transactions + 1;
+        let o = L2.access t.l2 ~addr ~write:false in
+        if not o.hit then c.dram_read_transactions <- c.dram_read_transactions + 1;
+        if o.writeback then
+          c.dram_write_transactions <- c.dram_write_transactions + 1
+      end
+  | Some s ->
+      let l1 = t.dev.l1_bytes > 0 && (L2.access s.sl1 ~addr ~write:false).hit in
+      if not l1 then begin
+        c.l2_read_transactions <- c.l2_read_transactions + 1;
+        tbuf_push s.strace (line lsl 1)
+      end
+
+let store_line t sh (c : Counters.t) ~serial line =
+  c.gst_transactions <- c.gst_transactions + 1;
+  if serial then c.serial_store_transactions <- c.serial_store_transactions + 1;
+  c.l2_write_transactions <- c.l2_write_transactions + 1;
+  match sh with
+  | None ->
+      let o = L2.access t.l2 ~addr:(line * t.dev.line_bytes) ~write:true in
+      if o.writeback then
+        c.dram_write_transactions <- c.dram_write_transactions + 1
+  | Some s -> tbuf_push s.strace ((line lsl 1) lor 1)
+
 let global_load_warp t addrs =
   let n = active addrs in
+  if n > 0 then begin
+    record_invalidate t;
+    let sh = shadow t in
+    let c = match sh with Some s -> s.sc | None -> t.total in
+    c.gld_inst <- c.gld_inst + n;
+    c.gld_requests <- c.gld_requests + 1;
+    c.gld_useful_bytes <- c.gld_useful_bytes + (4 * n);
+    List.iter (load_line t sh c) (lines_of t.dev addrs)
+  end
+
+let global_store_warp ?(serial = false) t addrs =
+  let n = active addrs in
+  if n > 0 then begin
+    record_invalidate t;
+    let sh = shadow t in
+    let c = match sh with Some s -> s.sc | None -> t.total in
+    c.gst_inst <- c.gst_inst + n;
+    List.iter (store_line t sh c ~serial) (lines_of t.dev addrs)
+  end
+
+(* ---- warp-batched entry points ----------------------------------------- *)
+
+(* The batched forms take a contiguous word run (or a sorted lane-address
+   array) instead of a per-lane option array: same counters and the same
+   cache-access sequence, without materializing per-lane [Some] cells.
+   [lines_of] discovers distinct lines by prepending, so it yields them
+   highest-first for ascending addresses — the loops below walk the line
+   range (or the address array) downwards to preserve that order, which
+   the L1/L2 LRU state and hence the DRAM counters depend on.
+
+   These entry points do not feed the {!Sanitize} race checker (they
+   carry no thread identities); callers fall back to the per-lane forms
+   whenever the sanitizer is enabled. *)
+
+let global_load_run t ~addr ~n =
   if n > 0 then begin
     let sh = shadow t in
     let c = match sh with Some s -> s.sc | None -> t.total in
     c.gld_inst <- c.gld_inst + n;
     c.gld_requests <- c.gld_requests + 1;
     c.gld_useful_bytes <- c.gld_useful_bytes + (4 * n);
-    List.iter
-      (fun line ->
-        c.gld_transactions <- c.gld_transactions + 1;
-        let addr = line * t.dev.line_bytes in
-        match sh with
-        | None ->
-            let l1 =
-              t.dev.l1_bytes > 0 && (L2.access t.l1 ~addr ~write:false).hit
-            in
-            if not l1 then begin
-              c.l2_read_transactions <- c.l2_read_transactions + 1;
-              let o = L2.access t.l2 ~addr ~write:false in
-              if not o.hit then
-                c.dram_read_transactions <- c.dram_read_transactions + 1;
-              if o.writeback then
-                c.dram_write_transactions <- c.dram_write_transactions + 1
-            end
-        | Some s ->
-            let l1 =
-              t.dev.l1_bytes > 0 && (L2.access s.sl1 ~addr ~write:false).hit
-            in
-            if not l1 then begin
-              c.l2_read_transactions <- c.l2_read_transactions + 1;
-              tbuf_push s.strace (line lsl 1)
-            end)
-      (lines_of t.dev addrs)
+    let lb = t.dev.line_bytes in
+    let lo = addr / lb and hi = (addr + (4 * n) - 4) / lb in
+    for line = hi downto lo do
+      load_line t sh c line
+    done;
+    match Domain.DLS.get record_key with
+    | Some r when r.rowner == t && r.rvalid ->
+        let region = r.region_of addr in
+        if region < 0 then r.rvalid <- false
+        else Tileclass.push r.rstream (Gload_run { region; addr; n })
+    | _ -> ()
   end
 
-let global_store_warp ?(serial = false) t addrs =
-  let n = active addrs in
+let global_store_run ?(serial = false) t ~addr ~n =
   if n > 0 then begin
     let sh = shadow t in
     let c = match sh with Some s -> s.sc | None -> t.total in
     c.gst_inst <- c.gst_inst + n;
-    List.iter
-      (fun line ->
-        c.gst_transactions <- c.gst_transactions + 1;
-        if serial then c.serial_store_transactions <- c.serial_store_transactions + 1;
-        c.l2_write_transactions <- c.l2_write_transactions + 1;
-        match sh with
-        | None ->
-            let o = L2.access t.l2 ~addr:(line * t.dev.line_bytes) ~write:true in
-            if o.writeback then
-              c.dram_write_transactions <- c.dram_write_transactions + 1
-        | Some s -> tbuf_push s.strace ((line lsl 1) lor 1))
-      (lines_of t.dev addrs)
+    let lb = t.dev.line_bytes in
+    let lo = addr / lb and hi = (addr + (4 * n) - 4) / lb in
+    for line = hi downto lo do
+      store_line t sh c ~serial line
+    done;
+    match Domain.DLS.get record_key with
+    | Some r when r.rowner == t && r.rvalid ->
+        let region = r.region_of addr in
+        if region < 0 then r.rvalid <- false
+        else Tileclass.push r.rstream (Gstore_run { region; addr; n; serial })
+    | _ -> ()
   end
+
+(* Nondecreasing lane addresses: adjacent dedup of the backwards walk
+   yields the distinct lines in descending order — exactly [lines_of]. *)
+let gload_lanes_off t addrs off =
+  let n = Array.length addrs in
+  if n > 0 then begin
+    let sh = shadow t in
+    let c = match sh with Some s -> s.sc | None -> t.total in
+    c.gld_inst <- c.gld_inst + n;
+    c.gld_requests <- c.gld_requests + 1;
+    c.gld_useful_bytes <- c.gld_useful_bytes + (4 * n);
+    let lb = t.dev.line_bytes in
+    let prev = ref min_int in
+    for i = n - 1 downto 0 do
+      let line = (addrs.(i) + off) / lb in
+      if line <> !prev then begin
+        prev := line;
+        load_line t sh c line
+      end
+    done
+  end
+
+let gstore_lanes_off ~serial t addrs off =
+  let n = Array.length addrs in
+  if n > 0 then begin
+    let sh = shadow t in
+    let c = match sh with Some s -> s.sc | None -> t.total in
+    c.gst_inst <- c.gst_inst + n;
+    let lb = t.dev.line_bytes in
+    let prev = ref min_int in
+    for i = n - 1 downto 0 do
+      let line = (addrs.(i) + off) / lb in
+      if line <> !prev then begin
+        prev := line;
+        store_line t sh c ~serial line
+      end
+    done
+  end
+
+let global_load_lanes t addrs =
+  gload_lanes_off t addrs 0;
+  if Array.length addrs > 0 then
+    match Domain.DLS.get record_key with
+    | Some r when r.rowner == t && r.rvalid ->
+        let region = r.region_of addrs.(0) in
+        if region < 0 then r.rvalid <- false
+        else Tileclass.push r.rstream (Gload_lanes { region; addrs })
+    | _ -> ()
+
+let global_store_lanes ?(serial = false) t addrs =
+  gstore_lanes_off ~serial t addrs 0;
+  if Array.length addrs > 0 then
+    match Domain.DLS.get record_key with
+    | Some r when r.rowner == t && r.rvalid ->
+        let region = r.region_of addrs.(0) in
+        if region < 0 then r.rvalid <- false
+        else Tileclass.push r.rstream (Gstore_lanes { region; addrs; serial })
+    | _ -> ()
 
 (* Bank conflicts: transactions = max over banks of the number of distinct
    words requested in that bank (same word broadcast counts once). *)
@@ -165,6 +340,7 @@ let counters_of t =
 let shared_load_warp ?(replay = 1) ?tids t addrs =
   let n = active addrs in
   if n > 0 then begin
+    record_invalidate t;
     if Sanitize.enabled () then Sanitize.access ~write:false ?tids addrs;
     let c = counters_of t in
     c.shared_load_requests <- c.shared_load_requests + 1;
@@ -175,6 +351,7 @@ let shared_load_warp ?(replay = 1) ?tids t addrs =
 let shared_store_warp ?(replay = 1) ?tids t addrs =
   let n = active addrs in
   if n > 0 then begin
+    record_invalidate t;
     if Sanitize.enabled () then Sanitize.access ~write:true ?tids addrs;
     let c = counters_of t in
     c.shared_store_requests <- c.shared_store_requests + 1;
@@ -182,15 +359,122 @@ let shared_store_warp ?(replay = 1) ?tids t addrs =
       c.shared_store_transactions + (replay * max 1 (bank_transactions t.dev addrs))
   end
 
-let flops_warp t ~active ~per_lane =
-  if active > 0 then
+(* Batched shared accesses. A contiguous word run touches distinct words
+   whose per-bank counts differ by at most one, so the conflict count is
+   [ceil n/banks] — equal to [bank_transactions] on the materialized
+   addresses. Strictly ascending lane arrays hold distinct words, so the
+   per-bank distinct-word count is a plain population count. *)
+
+let record_shared t ~write ~transactions =
+  match Domain.DLS.get record_key with
+  | Some r when r.rowner == t && r.rvalid ->
+      Tileclass.push r.rstream
+        (if write then Shared_store { transactions }
+         else Shared_load { transactions })
+  | _ -> ()
+
+let shared_load_run ?(replay = 1) t ~n =
+  if n > 0 then begin
     let c = counters_of t in
-    c.flops <- c.flops + (active * per_lane)
+    c.shared_load_requests <- c.shared_load_requests + 1;
+    let tx = replay * max 1 ((n + t.dev.banks - 1) / t.dev.banks) in
+    c.shared_load_transactions <- c.shared_load_transactions + tx;
+    record_shared t ~write:false ~transactions:tx
+  end
+
+let shared_store_run ?(replay = 1) t ~n =
+  if n > 0 then begin
+    let c = counters_of t in
+    c.shared_store_requests <- c.shared_store_requests + 1;
+    let tx = replay * max 1 ((n + t.dev.banks - 1) / t.dev.banks) in
+    c.shared_store_transactions <- c.shared_store_transactions + tx;
+    record_shared t ~write:true ~transactions:tx
+  end
+
+let bank_tx_lanes dev addrs =
+  let banks = dev.Device.banks in
+  let cnt = Array.make banks 0 in
+  let m = ref 0 in
+  Array.iter
+    (fun w ->
+      let b = ((w mod banks) + banks) mod banks in
+      let c = cnt.(b) + 1 in
+      cnt.(b) <- c;
+      if c > !m then m := c)
+    addrs;
+  !m
+
+let shared_load_lanes ?(replay = 1) t addrs =
+  if Array.length addrs > 0 then begin
+    let c = counters_of t in
+    c.shared_load_requests <- c.shared_load_requests + 1;
+    let tx = replay * max 1 (bank_tx_lanes t.dev addrs) in
+    c.shared_load_transactions <- c.shared_load_transactions + tx;
+    record_shared t ~write:false ~transactions:tx
+  end
+
+let shared_store_lanes ?(replay = 1) t addrs =
+  if Array.length addrs > 0 then begin
+    let c = counters_of t in
+    c.shared_store_requests <- c.shared_store_requests + 1;
+    let tx = replay * max 1 (bank_tx_lanes t.dev addrs) in
+    c.shared_store_transactions <- c.shared_store_transactions + tx;
+    record_shared t ~write:true ~transactions:tx
+  end
+
+let flops_warp t ~active ~per_lane =
+  if active > 0 then begin
+    let c = counters_of t in
+    c.flops <- c.flops + (active * per_lane);
+    match Domain.DLS.get record_key with
+    | Some r when r.rowner == t && r.rvalid ->
+        Tileclass.push r.rstream (Flops { active; per_lane })
+    | _ -> ()
+  end
 
 let sync t =
   if Sanitize.enabled () then Sanitize.barrier ();
   let c = counters_of t in
-  c.syncs <- c.syncs + 1
+  c.syncs <- c.syncs + 1;
+  match Domain.DLS.get record_key with
+  | Some r when r.rowner == t && r.rvalid -> Tileclass.push r.rstream Sync
+  | _ -> ()
+
+(* Replay a recorded stream for another block of the same tile class:
+   memory events run through the same (shadow-aware) machinery as live
+   execution, with each global address translated by its region's byte
+   delta; line ranges, coalescing and L1/L2 behaviour are recomputed
+   from the translated addresses, so the accounting is exact at any
+   alignment. [Compute] events are handed raw to [compute], which owns
+   the translation (it already knows the deltas) and the tape
+   evaluation. *)
+let replay_stream t (s : Tileclass.stream) ~(deltas : int array) ~compute =
+  Tileclass.iter s ~f:(fun ev ->
+      match ev with
+      | Tileclass.Gload_run { region; addr; n } ->
+          global_load_run t ~addr:(addr + deltas.(region)) ~n
+      | Gstore_run { region; addr; n; serial } ->
+          global_store_run ~serial t ~addr:(addr + deltas.(region)) ~n
+      | Gload_lanes { region; addrs } -> gload_lanes_off t addrs deltas.(region)
+      | Gstore_lanes { region; addrs; serial } ->
+          gstore_lanes_off ~serial t addrs deltas.(region)
+      | Shared_load { transactions } ->
+          let c = counters_of t in
+          c.shared_load_requests <- c.shared_load_requests + 1;
+          c.shared_load_transactions <- c.shared_load_transactions + transactions
+      | Shared_store { transactions } ->
+          let c = counters_of t in
+          c.shared_store_requests <- c.shared_store_requests + 1;
+          c.shared_store_transactions <- c.shared_store_transactions + transactions
+      | Flops { active; per_lane } -> flops_warp t ~active ~per_lane
+      | Sync -> sync t
+      | Compute { stmt; tstep; wregion; waddr; sregions; srcs; n } ->
+          compute ~stmt ~tstep ~wregion ~waddr ~sregions ~srcs ~n);
+  Atomic.incr t.blocks_memoized;
+  if Obs.enabled () then begin
+    Obs.incr "sim.blocks_memoized";
+    Obs.incr ~by:(Tileclass.mem_events s) "sim.addr_streams_replayed"
+  end
 
 let occupancy (dev : Device.t) ~blocks =
   if blocks <= 0 then 1.0
@@ -304,6 +588,7 @@ let run_blocks_parallel t pool ~name ~order ~f =
                  ~bytes:(max t.dev.line_bytes t.dev.l1_bytes)
                  ~assoc:4 ~line_bytes:t.dev.line_bytes;
              strace = tbuf_create ();
+             sserial = 1 + Atomic.fetch_and_add shadow_serials 1;
            }
          in
          Domain.DLS.set shadow_key (Some sh);
@@ -337,6 +622,9 @@ let launch ?pool t ~name ~blocks ~threads ~shared_bytes ~f =
          shared_bytes t.dev.shared_mem_bytes);
   if blocks > 0 then begin
     let before = Counters.copy t.total in
+    (* new launch, new generation: tile-class memo tables keyed by
+       {!generation} never leak streams across launches *)
+    Atomic.incr t.epoch;
     t.blocks_in_flight <- blocks;
     if Sanitize.enabled () then Sanitize.launch_begin ~name;
     let par =

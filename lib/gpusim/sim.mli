@@ -29,6 +29,9 @@ type t = {
   addr : Addrmap.t;
   mutable launches : launch list;
   mutable blocks_in_flight : int;  (** of the current launch *)
+  epoch : int Atomic.t;  (** bumped per launch; part of {!generation} *)
+  blocks_memoized : int Atomic.t;
+      (** blocks retired by {!replay_stream} instead of live execution *)
 }
 
 and launch = {
@@ -87,6 +90,94 @@ val shared_load_warp : ?replay:int -> ?tids:int array -> t -> int option array -
 val shared_store_warp : ?replay:int -> ?tids:int array -> t -> int option array -> unit
 val flops_warp : t -> active:int -> per_lane:int -> unit
 val sync : t -> unit
+
+(** {2 Warp-batched events}
+
+    Allocation-free forms of the warp events for the tape engine: a
+    contiguous word run is described by its first byte address and lane
+    count, a gapped warp by a nondecreasing array of per-lane byte (or
+    shared-word) addresses. Counters and the cache access sequence are
+    bit-identical to the per-lane forms on the materialized addresses
+    (distinct lines are visited highest-first, matching the per-lane
+    path's discovery order). These forms carry no thread identities and
+    do not feed {!Sanitize}; callers must use the per-lane forms when
+    the sanitizer is enabled. *)
+
+val global_load_run : t -> addr:int -> n:int -> unit
+val global_store_run : ?serial:bool -> t -> addr:int -> n:int -> unit
+val global_load_lanes : t -> int array -> unit
+val global_store_lanes : ?serial:bool -> t -> int array -> unit
+
+val shared_load_run : ?replay:int -> t -> n:int -> unit
+(** [n] consecutive shared words: the conflict count depends only on the
+    lane count ([ceil n/banks]), never on the base word. *)
+
+val shared_store_run : ?replay:int -> t -> n:int -> unit
+
+val shared_load_lanes : ?replay:int -> t -> int array -> unit
+(** Strictly ascending shared-word addresses (distinct words). *)
+
+val shared_store_lanes : ?replay:int -> t -> int array -> unit
+
+(** {2 Tile-class address-stream memoization}
+
+    The hybrid executor records one representative block per tile class
+    with {!record_begin}/{!record_end} and replays the stream for the
+    other blocks of the class with {!replay_stream}, translating global
+    addresses by per-region byte deltas. Only the batched events above
+    (plus {!flops_warp}, {!sync} and {!record_compute}) are recordable;
+    any per-lane warp event invalidates the recording, so unsupported
+    shapes silently fall back to live execution. Recording state is
+    domain-local, mirroring the parallel-execution shadows. *)
+
+val record_begin : t -> region_of:(int -> int) -> unit
+(** Start recording the current domain's events. [region_of] classifies
+    a global byte address into the replay delta index (negative =
+    unclassifiable, which invalidates the recording). *)
+
+val record_end : t -> Tileclass.stream option
+(** Stop recording; [None] if the recording was invalidated. *)
+
+val recording_active : t -> bool
+val record_invalidate : t -> unit
+
+val record_compute :
+  t ->
+  stmt:int ->
+  tstep:int ->
+  waddr:int ->
+  srcs:int array ->
+  n:int ->
+  unit
+(** Record the functional execution of one statement row (write base and
+    per-source base byte addresses); takes ownership of [srcs]. *)
+
+val replay_stream :
+  t ->
+  Tileclass.stream ->
+  deltas:int array ->
+  compute:
+    (stmt:int ->
+    tstep:int ->
+    wregion:int ->
+    waddr:int ->
+    sregions:int array ->
+    srcs:int array ->
+    n:int ->
+    unit) ->
+  unit
+(** Replay a recorded stream with per-region byte deltas added to every
+    global address (line ranges and cache behaviour are recomputed, so
+    the replay is exact). [Compute] events are passed through raw —
+    [compute] translates the addresses itself and runs the statement's
+    tape. Bumps [blocks_memoized] and the [sim.blocks_memoized] /
+    [sim.addr_streams_replayed] Obs counters. *)
+
+val generation : t -> int * int
+(** Identity of (launch, executing chunk): the launch epoch plus the
+    current parallel shadow's unique serial (0 when sequential). Memo
+    tables keyed by this are per-launch and per-chunk, which keeps
+    memoized-block counts deterministic for a given jobs value. *)
 
 (** {2 Results} *)
 

@@ -1,0 +1,102 @@
+(* Flat register-machine tapes: the warp-batched statement evaluator.
+
+   A tape is the closure-free form of one statement's right-hand side.
+   Registers are structure-of-arrays 32-lane float buffers packed into a
+   single scratch array (register r occupies words [r*lanes, r*lanes+n)).
+   Registers 0..nsrcs-1 are the statement's distinct reads, blitted from
+   the grids once per row chunk; the remaining registers hold
+   intermediate results. One [exec] retires a whole warp's worth of
+   statement instances with four tight array loops per operation and no
+   allocation, where the closure interpreter paid a tree walk and a
+   closure call per node per lane.
+
+   Evaluation order per lane is exactly the closure interpreter's
+   post-order walk, so results are bit-identical IEEE doubles. *)
+
+type instr =
+  | Const of { dst : int; v : float }
+  | Neg of { dst : int; a : int }
+  | Add of { dst : int; a : int; b : int }
+  | Sub of { dst : int; a : int; b : int }
+  | Mul of { dst : int; a : int; b : int }
+  | Div of { dst : int; a : int; b : int }
+
+type t = { nsrcs : int; nregs : int; result : int; instrs : instr array }
+
+let lanes = 32
+
+let make ~nsrcs ~nregs ~result ~instrs =
+  let check_reg what r =
+    if r < 0 || r >= nregs then
+      invalid_arg (Fmt.str "Tape.make: %s register %d out of [0, %d)" what r nregs)
+  in
+  if nsrcs < 0 || nsrcs > nregs then invalid_arg "Tape.make: nsrcs out of range";
+  check_reg "result" result;
+  Array.iter
+    (function
+      | Const { dst; _ } -> check_reg "dst" dst
+      | Neg { dst; a } ->
+          check_reg "dst" dst;
+          check_reg "src" a
+      | Add { dst; a; b } | Sub { dst; a; b } | Mul { dst; a; b } | Div { dst; a; b }
+        ->
+          check_reg "dst" dst;
+          check_reg "src" a;
+          check_reg "src" b)
+    instrs;
+  { nsrcs; nregs; result; instrs }
+
+let length t = Array.length t.instrs
+
+type scratch = float array
+
+let scratch t : scratch = Array.make (max 1 (t.nregs * lanes)) 0.0
+
+let scratch_fits t (s : scratch) = Array.length s >= t.nregs * lanes
+
+(* [make] bounds every register below [nregs] and the caller passes a
+   scratch of at least nregs*lanes words with n <= lanes, so the unsafe
+   accesses below stay inside the scratch. *)
+let exec t (regs : scratch) ~(datas : float array array) ~(bases : int array)
+    ~dx ~n ~(out : float array) ~out_base =
+  if n < 0 || n > lanes then invalid_arg "Tape.exec: n out of [0, 32]";
+  if not (scratch_fits t regs) then invalid_arg "Tape.exec: scratch too small";
+  for s = 0 to t.nsrcs - 1 do
+    (* Array.blit bounds-checks, backstopping the callers' row validation *)
+    Array.blit datas.(s) (bases.(s) + dx) regs (s * lanes) n
+  done;
+  let instrs = t.instrs in
+  for i = 0 to Array.length instrs - 1 do
+    match Array.unsafe_get instrs i with
+    | Const { dst; v } -> Array.fill regs (dst * lanes) n v
+    | Neg { dst; a } ->
+        let d = dst * lanes and a = a * lanes in
+        for j = 0 to n - 1 do
+          Array.unsafe_set regs (d + j) (-.Array.unsafe_get regs (a + j))
+        done
+    | Add { dst; a; b } ->
+        let d = dst * lanes and a = a * lanes and b = b * lanes in
+        for j = 0 to n - 1 do
+          Array.unsafe_set regs (d + j)
+            (Array.unsafe_get regs (a + j) +. Array.unsafe_get regs (b + j))
+        done
+    | Sub { dst; a; b } ->
+        let d = dst * lanes and a = a * lanes and b = b * lanes in
+        for j = 0 to n - 1 do
+          Array.unsafe_set regs (d + j)
+            (Array.unsafe_get regs (a + j) -. Array.unsafe_get regs (b + j))
+        done
+    | Mul { dst; a; b } ->
+        let d = dst * lanes and a = a * lanes and b = b * lanes in
+        for j = 0 to n - 1 do
+          Array.unsafe_set regs (d + j)
+            (Array.unsafe_get regs (a + j) *. Array.unsafe_get regs (b + j))
+        done
+    | Div { dst; a; b } ->
+        let d = dst * lanes and a = a * lanes and b = b * lanes in
+        for j = 0 to n - 1 do
+          Array.unsafe_set regs (d + j)
+            (Array.unsafe_get regs (a + j) /. Array.unsafe_get regs (b + j))
+        done
+  done;
+  Array.blit regs (t.result * lanes) out out_base n

@@ -1,0 +1,65 @@
+(** Flat register-machine tapes for warp-batched statement evaluation.
+
+    The closure-tree evaluator of [Schemes.Common.compile_stmt] pays a
+    closure call per expression node per lane. A tape is the same
+    expression flattened once into an array of register-to-register
+    instructions evaluated over structure-of-arrays 32-lane buffers: one
+    {!exec} call blits the statement's distinct reads into source
+    registers, runs each instruction as a tight loop over the active
+    lanes, and blits the result register back into the output grid.
+    Per-lane evaluation order matches the closure interpreter's
+    post-order walk exactly, so results are bit-identical.
+
+    Tapes are built by [Schemes.Common] (which knows the statement and
+    grid shapes) via {!make}; this module only defines the ISA and the
+    evaluator. *)
+
+type instr =
+  | Const of { dst : int; v : float }
+  | Neg of { dst : int; a : int }
+  | Add of { dst : int; a : int; b : int }
+  | Sub of { dst : int; a : int; b : int }
+  | Mul of { dst : int; a : int; b : int }
+  | Div of { dst : int; a : int; b : int }
+
+type t = private {
+  nsrcs : int;  (** registers [0..nsrcs-1] are load destinations *)
+  nregs : int;
+  result : int;  (** register holding the statement value *)
+  instrs : instr array;
+}
+
+val lanes : int
+(** Warp width (32): the lane capacity of every register. *)
+
+val make : nsrcs:int -> nregs:int -> result:int -> instrs:instr array -> t
+(** Validates that every register index is in [0, nregs), so {!exec} can
+    run without per-access bounds checks. *)
+
+val length : t -> int
+(** Instruction count (for the [sim.tape_instrs] counter). *)
+
+type scratch = float array
+(** Register file: [nregs * lanes] floats, register-major. Reused across
+    rows; one per domain (never shared — see [Schemes.Common]). *)
+
+val scratch : t -> scratch
+val scratch_fits : t -> scratch -> bool
+
+val exec :
+  t ->
+  scratch ->
+  datas:float array array ->
+  bases:int array ->
+  dx:int ->
+  n:int ->
+  out:float array ->
+  out_base:int ->
+  unit
+(** Evaluate [n <= lanes] consecutive lanes: source register [s] is
+    loaded from [datas.(s).(bases.(s) + dx + j)] for lane [j], and the
+    result register is stored to [out.(out_base + j)]. The caller
+    guarantees (by validating the row's endpoints) that every
+    [bases.(s) + dx .. bases.(s) + dx + n - 1] and
+    [out_base .. out_base + n - 1] range is in bounds; [Array.blit]'s own
+    checks backstop that invariant. *)

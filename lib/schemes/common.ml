@@ -1,12 +1,22 @@
 open Hextile_ir
 open Hextile_gpusim
 open Hextile_util
+module Obs = Hextile_obs.Obs
+
+type engine = Ref | Tape
 
 type compiled = {
+  cidx : int;  (** statement index in the program (tape replay key) *)
   ceval : int -> int array -> float;  (** tstep -> point -> value *)
   cwgrid : Grid.t;
   cwflat : int -> int array -> int;  (** tstep -> point -> flat write index *)
   creads : (Grid.t * (int -> int array -> int)) list;  (** per distinct read *)
+  tape : Tape.t option;
+      (** [None] when row batching would reorder an aliased read/write
+          (the per-lane interleaved reference order must be kept) *)
+  tsrcs : (Grid.t * (int -> int array -> int)) array;
+      (** tape sources in register order (= [creads] order) *)
+  tdatas : float array array;  (** [tsrcs] data arrays (read-only share) *)
 }
 
 type ctx = {
@@ -22,7 +32,14 @@ type ctx = {
   hi : int array array;
   updates : int Atomic.t;
   compiled : (string, compiled) Hashtbl.t;
+  engine : engine;
 }
+
+(* Out-of-line error path: the hot loop pays one compare per dimension
+   and never touches the [Fmt] machinery unless a bound actually
+   fails. *)
+let[@inline never] oob_access aname d c =
+  invalid_arg (Fmt.str "access to %s out of bounds (dim %d: %d)" aname d c)
 
 (* Compile an access into a closure computing the flat element index
    without allocation. *)
@@ -34,6 +51,7 @@ let access_flat grids (a : Stencil.access) =
   let base_j = Array.length dims - ns in
   let offsets = a.offsets in
   let toff = a.time_off in
+  let aname = a.array in
   fun tstep (point : int array) ->
     let off =
       ref (match fold with Some m -> Intutil.fmod (tstep + toff) m | None -> 0)
@@ -41,11 +59,72 @@ let access_flat grids (a : Stencil.access) =
     for d = 0 to ns - 1 do
       let c = point.(d) + offsets.(d) in
       let ext = dims.(base_j + d) in
-      if c < 0 || c >= ext then
-        invalid_arg (Fmt.str "access to %s out of bounds (dim %d: %d)" a.array d c);
+      if c < 0 || c >= ext then oob_access aname d c;
       off := (!off * ext) + c
     done;
     !off
+
+(* Flatten the right-hand side into a {!Tape.t}, with the statement's
+   distinct reads as source registers. The tape evaluates every lane's
+   reads before any lane's write, while the closure path interleaves
+   read/write per lane — so statements where a read can alias the
+   written storage slot at a *different* cell keep the closure path
+   ([None]); reading the written cell itself is order-insensitive. *)
+let compile_tape (s : Stencil.stmt) (wg : Grid.t) =
+  let reads = Stencil.distinct_reads s in
+  let hazard (a : Stencil.access) =
+    String.equal a.array s.write.array
+    && (match wg.decl.fold with
+       | None -> true
+       | Some m -> Intutil.fmod (a.time_off - s.write.time_off) m = 0)
+    && a.offsets <> s.write.offsets
+  in
+  if List.exists hazard reads then None
+  else begin
+    let srcs = Array.of_list reads in
+    let nsrcs = Array.length srcs in
+    let src_reg a =
+      let r = ref (-1) in
+      Array.iteri (fun i a' -> if a' = a then r := i) srcs;
+      !r
+    in
+    let instrs = ref [] in
+    let next = ref nsrcs in
+    let fresh () =
+      let r = !next in
+      incr next;
+      r
+    in
+    let emit i = instrs := i :: !instrs in
+    let rec comp (e : Stencil.fexpr) =
+      match e with
+      | Read a -> src_reg a
+      | Fconst v ->
+          let dst = fresh () in
+          emit (Tape.Const { dst; v });
+          dst
+      | Neg e ->
+          let a = comp e in
+          let dst = fresh () in
+          emit (Tape.Neg { dst; a });
+          dst
+      | Bin (op, l, r) ->
+          let a = comp l in
+          let b = comp r in
+          let dst = fresh () in
+          emit
+            (match op with
+            | Add -> Tape.Add { dst; a; b }
+            | Sub -> Tape.Sub { dst; a; b }
+            | Mul -> Tape.Mul { dst; a; b }
+            | Div -> Tape.Div { dst; a; b });
+          dst
+    in
+    let result = comp s.rhs in
+    Some
+      (Tape.make ~nsrcs ~nregs:(max !next 1) ~result
+         ~instrs:(Array.of_list (List.rev !instrs)))
+  end
 
 let compile_stmt (ctx : ctx) (s : Stencil.stmt) =
   match Hashtbl.find_opt ctx.compiled s.sname with
@@ -69,22 +148,35 @@ let compile_stmt (ctx : ctx) (s : Stencil.stmt) =
             | Mul -> fun t p -> cl t p *. cr t p
             | Div -> fun t p -> cl t p /. cr t p)
       in
+      let cidx =
+        let r = ref 0 in
+        Array.iteri (fun i (s' : Stencil.stmt) -> if String.equal s'.sname s.sname then r := i) ctx.stmts;
+        !r
+      in
+      let wg = Grid.find ctx.grids s.write.array in
+      let tsrcs =
+        Array.of_list
+          (List.map
+             (fun (a : Stencil.access) ->
+               (Grid.find ctx.grids a.array, access_flat ctx.grids a))
+             (Stencil.distinct_reads s))
+      in
       let c =
         {
+          cidx;
           ceval = comp s.rhs;
-          cwgrid = Grid.find ctx.grids s.write.array;
+          cwgrid = wg;
           cwflat = access_flat ctx.grids s.write;
-          creads =
-            List.map
-              (fun (a : Stencil.access) ->
-                (Grid.find ctx.grids a.array, access_flat ctx.grids a))
-              (Stencil.distinct_reads s);
+          creads = Array.to_list tsrcs;
+          tape = compile_tape s wg;
+          tsrcs;
+          tdatas = Array.map (fun ((g : Grid.t), _) -> g.data) tsrcs;
         }
       in
       Hashtbl.replace ctx.compiled s.sname c;
       c
 
-let make_ctx (prog : Stencil.t) env dev =
+let make_ctx ?(engine = Tape) (prog : Stencil.t) env dev =
   (match Stencil.validate prog with
   | Ok () -> ()
   | Error m -> invalid_arg ("Common.make_ctx: " ^ m));
@@ -108,6 +200,7 @@ let make_ctx (prog : Stencil.t) env dev =
       hi = Array.map (fun (s : Stencil.stmt) -> Array.map (fun e -> Affp.eval e env) s.hi) stmts;
       updates = Atomic.make 0;
       compiled = Hashtbl.create 8;
+      engine;
     }
   in
   (* Make the context read-only before any (possibly parallel) block
@@ -130,6 +223,8 @@ type result = {
   transfer_time : float;
   updates : int;
   grids : (string, Grid.t) Hashtbl.t;
+  blocks : int;
+  blocks_memoized : int;
 }
 
 let finish ctx ~scheme =
@@ -142,6 +237,9 @@ let finish ctx ~scheme =
     transfer_time = Sim.transfer_time ctx.sim ~bytes;
     updates = Atomic.get ctx.updates;
     grids = ctx.grids;
+    blocks =
+      List.fold_left (fun a (l : Sim.launch) -> a + l.blocks) 0 ctx.sim.launches;
+    blocks_memoized = Atomic.get ctx.sim.blocks_memoized;
   }
 
 let total_time r = r.kernel_time +. r.transfer_time
@@ -253,6 +351,43 @@ let chunks_of xs f =
     i := !i + len
   done
 
+(* Per-domain tape register file, grown on demand. Compiled statements
+   (and their tapes) are shared read-only across domains, so the mutable
+   scratch lives in domain-local storage instead. *)
+let scratch_key : Tape.scratch Domain.DLS.key = Domain.DLS.new_key (fun () -> [||])
+
+let get_scratch words =
+  let b = Domain.DLS.get scratch_key in
+  if Array.length b >= words then b
+  else begin
+    let nb = Array.make words 0.0 in
+    Domain.DLS.set scratch_key nb;
+    nb
+  end
+
+(* Run one statement row through its tape: [n] lanes with per-source flat
+   word bases [src_flats] (tape register order) writing from flat word
+   [wflat]. Shared by the live tape path and [Sim.replay_stream]'s
+   [Compute] events (the replay translates the recorded bases first). *)
+let exec_tape_row ctx ~stmt_idx ~wflat ~src_flats ~n =
+  let c = compile_stmt ctx ctx.stmts.(stmt_idx) in
+  match c.tape with
+  | None -> invalid_arg "Common.exec_tape_row: statement has no tape"
+  | Some tape ->
+      let regs = get_scratch (tape.nregs * Tape.lanes) in
+      let out = c.cwgrid.data in
+      let i = ref 0 in
+      while !i < n do
+        let nl = min Tape.lanes (n - !i) in
+        Tape.exec tape regs ~datas:c.tdatas ~bases:src_flats ~dx:!i ~n:nl ~out
+          ~out_base:(wflat + !i);
+        i := !i + nl
+      done;
+      Obs.incr
+        ~by:(Tape.length tape * ((n + Tape.lanes - 1) / Tape.lanes))
+        "sim.tape_instrs";
+      ignore (Atomic.fetch_and_add ctx.updates n)
+
 let exec_stmt_row ctx ~stmt ~tstep ~point ~xs ?read_value ?write_value
     ?(count = true) ?loads_subset ~global_reads ~shared_replay
     ~interleave_store ~use_shared ~shared_addr () =
@@ -292,59 +427,169 @@ let exec_stmt_row ctx ~stmt ~tstep ~point ~xs ?read_value ?write_value
         Addrmap.base ctx.sim.addr c.cwgrid + (4 * c.cwflat tstep point)
       else 0
     and wbase_shared = if use_shared then shared_addr s.write ~point else 0 in
-    chunks_of xs (fun lane_xs ->
-        let nlanes = Array.length lane_xs in
-        let dx0 = lane_xs.(0) - x0 in
-        let tids = lane_tids point lane_xs in
-        (* loads *)
+    (* The tape engine needs contiguous lanes (all executors pass
+       contiguous xs; the check makes the fallback airtight) and cannot
+       carry the sanitizer's per-lane thread identities. *)
+    let batched =
+      ctx.engine = Tape
+      && (not (Sanitize.enabled ()))
+      && xs.(n - 1) - x0 = n - 1
+    in
+    if not batched then
+      chunks_of xs (fun lane_xs ->
+          let nlanes = Array.length lane_xs in
+          let dx0 = lane_xs.(0) - x0 in
+          let tids = lane_tids point lane_xs in
+          (* loads *)
+          if global_reads then
+            List.iter
+              (fun base ->
+                Sim.global_load_warp ctx.sim
+                  (Array.init nlanes (fun i -> Some (base + (4 * (dx0 + i))))))
+              read_bases
+          else
+            List.iter
+              (fun base ->
+                Sim.shared_load_warp ~replay:shared_replay ?tids ctx.sim
+                  (Array.init nlanes (fun i -> Some (base + dx0 + i))))
+              read_bases;
+          (* arithmetic *)
+          Sim.flops_warp ctx.sim ~active:nlanes ~per_lane:nflops;
+          (* store accounting *)
+          if use_shared then
+            Sim.shared_store_warp ~replay:shared_replay ?tids ctx.sim
+              (Array.init nlanes (fun i -> Some (wbase_shared + dx0 + i)));
+          if interleave_store || not use_shared then
+            Sim.global_store_warp ctx.sim
+              (Array.init nlanes (fun i -> Some (wbase_global + (4 * (dx0 + i)))));
+          (* functional execution *)
+          (match (read_value, write_value) with
+          | None, None ->
+              (* fast path: compiled evaluator, direct grid write *)
+              Array.iter
+                (fun x ->
+                  point.(xdim) <- x;
+                  c.cwgrid.data.(c.cwflat tstep point) <- c.ceval tstep point)
+                lane_xs
+          | _ ->
+              let read =
+                match read_value with
+                | Some rv -> fun a p -> rv a ~point:p
+                | None -> fun a p -> Grid.read_access ctx.grids a ~t:tstep ~point:p
+              in
+              Array.iter
+                (fun x ->
+                  point.(xdim) <- x;
+                  let v = Interp.eval_with ~read s.rhs ~point in
+                  match write_value with
+                  | Some w -> w ~point v
+                  | None -> Grid.write_access ctx.grids s.write ~t:tstep ~point v)
+                lane_xs);
+          if count then ignore (Atomic.fetch_and_add ctx.updates nlanes))
+    else begin
+      (* Batched accounting: one event per warp chunk, same event
+         sequence (and counters) as the per-lane path above. *)
+      let i = ref 0 in
+      while !i < n do
+        let nl = min warp_size (n - !i) in
+        let dx0 = !i in
         if global_reads then
           List.iter
             (fun base ->
-              Sim.global_load_warp ctx.sim
-                (Array.init nlanes (fun i -> Some (base + (4 * (dx0 + i))))))
+              Sim.global_load_run ctx.sim ~addr:(base + (4 * dx0)) ~n:nl)
             read_bases
         else
           List.iter
-            (fun base ->
-              Sim.shared_load_warp ~replay:shared_replay ?tids ctx.sim
-                (Array.init nlanes (fun i -> Some (base + dx0 + i))))
+            (fun _base -> Sim.shared_load_run ~replay:shared_replay ctx.sim ~n:nl)
             read_bases;
-        (* arithmetic *)
-        Sim.flops_warp ctx.sim ~active:nlanes ~per_lane:nflops;
-        (* store accounting *)
+        Sim.flops_warp ctx.sim ~active:nl ~per_lane:nflops;
         if use_shared then
-          Sim.shared_store_warp ~replay:shared_replay ?tids ctx.sim
-            (Array.init nlanes (fun i -> Some (wbase_shared + dx0 + i)));
+          Sim.shared_store_run ~replay:shared_replay ctx.sim ~n:nl;
         if interleave_store || not use_shared then
-          Sim.global_store_warp ctx.sim
-            (Array.init nlanes (fun i -> Some (wbase_global + (4 * (dx0 + i)))));
-        (* functional execution *)
-        (match (read_value, write_value) with
-        | None, None ->
-            (* fast path: compiled evaluator, direct grid write *)
-            Array.iter
-              (fun x ->
-                point.(xdim) <- x;
-                c.cwgrid.data.(c.cwflat tstep point) <- c.ceval tstep point)
-              lane_xs
-        | _ ->
-            let read =
-              match read_value with
-              | Some rv -> fun a p -> rv a ~point:p
-              | None -> fun a p -> Grid.read_access ctx.grids a ~t:tstep ~point:p
+          Sim.global_store_run ctx.sim ~addr:(wbase_global + (4 * dx0)) ~n:nl;
+        i := !i + nl
+      done;
+      (* Functional execution. *)
+      (match (read_value, write_value, c.tape) with
+      | None, None, Some tape ->
+          let xlast = xs.(n - 1) in
+          let nsrc = Array.length c.tsrcs in
+          let bases = Array.make nsrc 0 in
+          (* Resolve per-source word bases at x0 and validate the other
+             endpoint: x is the innermost storage dimension (stride 1),
+             so per-dimension validity at both row endpoints covers the
+             whole contiguous lane range. *)
+          for k = 0 to nsrc - 1 do
+            let _, fl = c.tsrcs.(k) in
+            point.(xdim) <- x0;
+            bases.(k) <- fl tstep point;
+            point.(xdim) <- xlast;
+            ignore (fl tstep point)
+          done;
+          point.(xdim) <- x0;
+          let wflat = c.cwflat tstep point in
+          point.(xdim) <- xlast;
+          ignore (c.cwflat tstep point);
+          point.(xdim) <- x0;
+          let regs = get_scratch (tape.nregs * Tape.lanes) in
+          let out = c.cwgrid.data in
+          let i = ref 0 in
+          while !i < n do
+            let nl = min Tape.lanes (n - !i) in
+            Tape.exec tape regs ~datas:c.tdatas ~bases ~dx:!i ~n:nl ~out
+              ~out_base:(wflat + !i);
+            i := !i + nl
+          done;
+          Obs.incr
+            ~by:(Tape.length tape * ((n + Tape.lanes - 1) / Tape.lanes))
+            "sim.tape_instrs";
+          if Sim.recording_active ctx.sim then begin
+            let srcs =
+              Array.init nsrc (fun k ->
+                  Addrmap.base ctx.sim.addr (fst c.tsrcs.(k)) + (4 * bases.(k)))
             in
-            Array.iter
-              (fun x ->
-                point.(xdim) <- x;
+            Sim.record_compute ctx.sim ~stmt:c.cidx ~tstep
+              ~waddr:(Addrmap.base ctx.sim.addr c.cwgrid + (4 * wflat))
+              ~srcs ~n
+          end
+      | _ ->
+          (* aliasing hazard or value overrides: the per-lane interleaved
+             read/write order is semantically significant, and a recorded
+             stream could not replay it *)
+          Sim.record_invalidate ctx.sim;
+          let read =
+            match read_value with
+            | Some rv -> fun a p -> rv a ~point:p
+            | None -> fun a p -> Grid.read_access ctx.grids a ~t:tstep ~point:p
+          in
+          let eval_default = read_value = None && write_value = None in
+          Array.iter
+            (fun x ->
+              point.(xdim) <- x;
+              if eval_default then
+                c.cwgrid.data.(c.cwflat tstep point) <- c.ceval tstep point
+              else begin
                 let v = Interp.eval_with ~read s.rhs ~point in
                 match write_value with
                 | Some w -> w ~point v
-                | None -> Grid.write_access ctx.grids s.write ~t:tstep ~point v)
-              lane_xs);
-        if count then ignore (Atomic.fetch_and_add ctx.updates nlanes))
+                | None -> Grid.write_access ctx.grids s.write ~t:tstep ~point v
+              end)
+            xs);
+      if count then ignore (Atomic.fetch_and_add ctx.updates n)
+    end
   end
 
+let batched_engine ctx = ctx.engine = Tape && not (Sanitize.enabled ())
+
+let strictly_ascending a =
+  let ok = ref true in
+  for i = 1 to Array.length a - 1 do
+    if a.(i) <= a.(i - 1) then ok := false
+  done;
+  !ok
+
 let load_box_rows ctx ~grid ~slot ~box ~skip_x ~shared_addr =
+  let batched = batched_engine ctx in
   iter_box_rows box ~f:(fun row ->
       let xdim = Array.length row - 1 in
       let xlo = box.blo.(xdim) and xhi = box.bhi.(xdim) in
@@ -357,15 +602,32 @@ let load_box_rows ctx ~grid ~slot ~box ~skip_x ~shared_addr =
         row.(xdim) <- xlo;
         let gbase = Addrmap.addr ctx.sim.addr grid (flat grid ~slot row) in
         let sbase = shared_addr row in
-        chunks_of xs (fun lane_xs ->
-            let tids = lane_tids row lane_xs in
-            Sim.global_load_warp ctx.sim
-              (Array.map (fun x -> Some (gbase + (4 * (x - xlo)))) lane_xs);
-            Sim.shared_store_warp ?tids ctx.sim
-              (Array.map (fun x -> Some (sbase + x - xlo)) lane_xs))
+        if batched then
+          chunks_of xs (fun lane_xs ->
+              let nl = Array.length lane_xs in
+              if lane_xs.(nl - 1) - lane_xs.(0) = nl - 1 then begin
+                let d = lane_xs.(0) - xlo in
+                Sim.global_load_run ctx.sim ~addr:(gbase + (4 * d)) ~n:nl;
+                Sim.shared_store_run ctx.sim ~n:nl
+              end
+              else begin
+                (* this warp straddles the reuse gap *)
+                Sim.global_load_lanes ctx.sim
+                  (Array.map (fun x -> gbase + (4 * (x - xlo))) lane_xs);
+                Sim.shared_store_lanes ctx.sim
+                  (Array.map (fun x -> sbase + x - xlo) lane_xs)
+              end)
+        else
+          chunks_of xs (fun lane_xs ->
+              let tids = lane_tids row lane_xs in
+              Sim.global_load_warp ctx.sim
+                (Array.map (fun x -> Some (gbase + (4 * (x - xlo)))) lane_xs);
+              Sim.shared_store_warp ?tids ctx.sim
+                (Array.map (fun x -> Some (sbase + x - xlo)) lane_xs))
       end)
 
 let shared_copy_rows ctx ~box ~shared_addr =
+  let batched = batched_engine ctx in
   iter_box_rows box ~f:(fun row ->
       let xdim = Array.length row - 1 in
       let xlo = box.blo.(xdim) in
@@ -373,24 +635,38 @@ let shared_copy_rows ctx ~box ~shared_addr =
       if Array.length xs > 0 then begin
         row.(xdim) <- xlo;
         let sbase = shared_addr row in
-        chunks_of xs (fun lane_xs ->
-            (* one lane moves one word: load and store share identities *)
-            let tids = lane_tids row lane_xs in
-            let saddrs = Array.map (fun x -> Some (sbase + x - xlo)) lane_xs in
-            Sim.shared_load_warp ?tids ctx.sim saddrs;
-            Sim.shared_store_warp ?tids ctx.sim saddrs)
+        if batched then
+          chunks_of xs (fun lane_xs ->
+              let nl = Array.length lane_xs in
+              Sim.shared_load_run ctx.sim ~n:nl;
+              Sim.shared_store_run ctx.sim ~n:nl)
+        else
+          chunks_of xs (fun lane_xs ->
+              (* one lane moves one word: load and store share identities *)
+              let tids = lane_tids row lane_xs in
+              let saddrs = Array.map (fun x -> Some (sbase + x - xlo)) lane_xs in
+              Sim.shared_load_warp ?tids ctx.sim saddrs;
+              Sim.shared_store_warp ?tids ctx.sim saddrs)
       end)
 
 let store_cells ctx ~grid ~cells ~via_shared =
+  let batched = batched_engine ctx in
   let arr = Array.of_list cells in
   chunks_of arr (fun lane_cells ->
-      if via_shared then
-        Sim.shared_load_warp
-          ?tids:(if Sanitize.enabled () then Some lane_cells else None)
-          ctx.sim
-          (Array.map (fun c -> Some c) lane_cells);
-      Sim.global_store_warp ~serial:true ctx.sim
-        (Array.map (fun c -> Some (Addrmap.addr ctx.sim.addr grid c)) lane_cells))
+      if batched && strictly_ascending lane_cells then begin
+        if via_shared then Sim.shared_load_lanes ctx.sim lane_cells;
+        Sim.global_store_lanes ~serial:true ctx.sim
+          (Array.map (fun c -> Addrmap.addr ctx.sim.addr grid c) lane_cells)
+      end
+      else begin
+        if via_shared then
+          Sim.shared_load_warp
+            ?tids:(if Sanitize.enabled () then Some lane_cells else None)
+            ctx.sim
+            (Array.map (fun c -> Some c) lane_cells);
+        Sim.global_store_warp ~serial:true ctx.sim
+          (Array.map (fun c -> Some (Addrmap.addr ctx.sim.addr grid c)) lane_cells)
+      end)
 
 let snapshot (ctx : ctx) =
   let tbl = Hashtbl.create 8 in

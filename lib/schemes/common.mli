@@ -4,8 +4,20 @@
 open Hextile_ir
 open Hextile_gpusim
 
+type engine = Ref | Tape
+(** Execution engine for statement rows. [Tape] (the default) runs
+    warp-batched accounting through [Sim]'s allocation-free batched
+    events and evaluates statements with flat {!Hextile_gpusim.Tape}
+    register tapes over 32-lane buffers; [Ref] is the original per-lane
+    closure interpreter, kept as the differential-testing reference.
+    Both produce bit-identical grids and counters; when the
+    {!Hextile_gpusim.Sanitize} sanitizer is enabled, the per-lane
+    reference path runs regardless (it needs per-lane thread
+    identities). *)
+
 type compiled
-(** Per-statement compiled evaluator (closure "JIT" over the grids). *)
+(** Per-statement compiled evaluator (closure "JIT" over the grids, plus
+    the statement's register tape when row batching is sound). *)
 
 type ctx = {
   sim : Sim.t;
@@ -22,9 +34,11 @@ type ctx = {
       (** statement instances executed (atomic: blocks of one launch may
           run on different domains; the sum is order-independent) *)
   compiled : (string, compiled) Hashtbl.t;
+  engine : engine;
 }
 
-val make_ctx : Stencil.t -> (string -> int) -> Device.t -> ctx
+val make_ctx : ?engine:engine -> Stencil.t -> (string -> int) -> Device.t -> ctx
+(** [engine] defaults to {!Tape}. *)
 
 type result = {
   scheme : string;
@@ -34,6 +48,10 @@ type result = {
   transfer_time : float;
   updates : int;
   grids : (string, Grid.t) Hashtbl.t;
+  blocks : int;  (** total blocks across all launches *)
+  blocks_memoized : int;
+      (** blocks retired by tile-class stream replay instead of live
+          execution (hybrid scheme, [Tape] engine only) *)
 }
 
 val finish : ctx -> scheme:string -> result
@@ -134,6 +152,15 @@ val store_cells : ctx -> grid:Grid.t -> cells:int list -> via_shared:bool -> uni
 val iter_box_rows : box -> f:(int array -> unit) -> unit
 (** Iterate over rows: all coordinate prefixes; the callback receives the
     full point with x set to [blo] of the innermost dim. *)
+
+val exec_tape_row :
+  ctx -> stmt_idx:int -> wflat:int -> src_flats:int array -> n:int -> unit
+(** Functional replay of one memoized statement row: run statement
+    [stmt_idx]'s tape over [n] lanes with the given per-source flat word
+    bases (tape register order) writing from flat word [wflat], counting
+    the instances toward [ctx.updates]. Raises [Invalid_argument] if the
+    statement has no tape (recorded streams only contain [Compute]
+    events for tape-executed rows, so replay never hits that case). *)
 
 val snapshot : ctx -> (string, float array) Hashtbl.t
 val snapshot_read : (string, float array) Hashtbl.t -> Grid.t -> int -> float

@@ -57,6 +57,7 @@ val default_config : Stencil.t -> config
 
 val run :
   ?pool:Hextile_par.Par.pool ->
+  ?engine:Common.engine ->
   ?name:string ->
   ?config:config ->
   Stencil.t ->

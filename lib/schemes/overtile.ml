@@ -52,8 +52,8 @@ let needed_slots (ctx : Common.ctx) ~tt0 ~hh_eff =
   done;
   needed
 
-let run ?pool ?config prog env dev =
-  let ctx = Common.make_ctx prog env dev in
+let run ?pool ?engine ?config prog env dev =
+  let ctx = Common.make_ctx ?engine prog env dev in
   let config =
     match config with Some c -> c | None -> default_config ~dims:ctx.dims
   in

@@ -27,6 +27,7 @@ val radii : Stencil.t -> int array
 
 val run :
   ?pool:Hextile_par.Par.pool ->
+  ?engine:Common.engine ->
   ?config:config ->
   Stencil.t ->
   (string -> int) ->

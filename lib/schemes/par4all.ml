@@ -5,8 +5,8 @@ type config = { threads_per_block : int }
 
 let default_config = { threads_per_block = 256 }
 
-let run ?pool ?(config = default_config) prog env dev =
-  let ctx = Common.make_ctx prog env dev in
+let run ?pool ?engine ?(config = default_config) prog env dev =
+  let ctx = Common.make_ctx ?engine prog env dev in
   let tpb = config.threads_per_block in
   for tstep = 0 to ctx.steps - 1 do
     Array.iteri

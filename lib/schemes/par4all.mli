@@ -12,6 +12,7 @@ val default_config : config
 
 val run :
   ?pool:Hextile_par.Par.pool ->
+  ?engine:Common.engine ->
   ?config:config ->
   Stencil.t ->
   (string -> int) ->

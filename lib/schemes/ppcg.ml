@@ -40,8 +40,8 @@ let input_boxes (ctx : Common.ctx) (stmt : Stencil.stmt) ~tstep ~(region : Commo
     (Stencil.distinct_reads stmt);
   boxes
 
-let run ?pool ?(config = default_config) ?(name = "ppcg") prog env dev =
-  let ctx = Common.make_ctx prog env dev in
+let run ?pool ?engine ?(config = default_config) ?(name = "ppcg") prog env dev =
+  let ctx = Common.make_ctx ?engine prog env dev in
   let tile =
     match config.tile with Some t -> t | None -> default_tile ~dims:ctx.dims
   in

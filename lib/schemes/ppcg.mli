@@ -19,6 +19,7 @@ val default_tile : dims:int -> int array
 
 val run :
   ?pool:Hextile_par.Par.pool ->
+  ?engine:Common.engine ->
   ?config:config ->
   ?name:string ->
   Stencil.t ->

@@ -7,8 +7,8 @@ type config = { hh : int; width : int }
 
 let default_config = { hh = 4; width = 64 }
 
-let run ?pool ?(config = default_config) prog env dev =
-  let ctx = Common.make_ctx prog env dev in
+let run ?pool ?engine ?(config = default_config) prog env dev =
+  let ctx = Common.make_ctx ?engine prog env dev in
   if ctx.dims <> 1 then
     invalid_arg "Split_tiling.run: only 1D stencils (the paper's degenerate case)";
   if ctx.k <> 1 then

@@ -9,6 +9,7 @@ let () =
       ("frontend", Test_frontend.suite);
       ("gpusim", Test_gpusim.suite);
       ("schemes", Test_schemes.suite);
+      ("tape", Test_tape.suite);
       ("check", Test_check.suite);
       ("par", Test_par.suite);
       ("codegen", Test_codegen.suite);

@@ -91,6 +91,36 @@ let test_counter_accumulation () =
     [ ("gld_inst", 16); ("shared_load_requests", 2) ]
     (Obs.counters ())
 
+let test_tape_engine_counters () =
+  (* A hybrid run under observation must report the tape-engine counters
+     (instructions executed, memoized blocks, replayed address-stream
+     events), and they must survive the profile-JSON round trip. *)
+  let prog = Hextile_stencils.Suite.jacobi2d in
+  let env p = List.assoc p [ ("N", 64); ("T", 8) ] in
+  let r =
+    Hextile_schemes.Hybrid_exec.run prog env Hextile_gpusim.Device.gtx470
+  in
+  Alcotest.(check bool)
+    "tape instructions executed" true
+    (Obs.counter "sim.tape_instrs" > 0);
+  Alcotest.(check int)
+    "memoized blocks match result" r.blocks_memoized
+    (Obs.counter "sim.blocks_memoized");
+  Alcotest.(check bool)
+    "address streams replayed" true
+    (Obs.counter "sim.addr_streams_replayed" > 0);
+  match Json.parse (Json.to_string (Obs.to_json ())) with
+  | Error e -> Alcotest.failf "profile JSON did not parse: %s" e
+  | Ok doc ->
+      let counters = Option.get (Json.member "counters" doc) in
+      List.iter
+        (fun name ->
+          Alcotest.(check (option int))
+            (name ^ " survives the JSON round trip")
+            (Some (Obs.counter name))
+            (Option.bind (Json.member name counters) Json.to_int))
+        [ "sim.tape_instrs"; "sim.blocks_memoized"; "sim.addr_streams_replayed" ]
+
 let test_trace_json_roundtrip () =
   Obs.span "pipeline" (fun () ->
       Obs.annot "stencil" (Obs.Str "jacobi2d");
@@ -183,6 +213,8 @@ let suite =
       (with_obs test_counter_accumulation);
     Alcotest.test_case "trace JSON round trip" `Quick
       (with_obs test_trace_json_roundtrip);
+    Alcotest.test_case "tape-engine counters in profile JSON" `Quick
+      (with_obs test_tape_engine_counters);
     Alcotest.test_case "JSON parser values" `Quick test_json_parse_values;
     Alcotest.test_case "JSON printer/parser round trip" `Quick
       test_json_roundtrip_values;

@@ -1,0 +1,117 @@
+(* Differential tests for the warp-batched tape engine: the closure
+   interpreter ([Common.Ref]) is the reference; the tape engine (with
+   tile-class address-stream memoization in the hybrid scheme) must
+   produce bit-identical grids and counters at every jobs value. *)
+
+open Hextile_gpusim
+open Hextile_schemes
+open Hextile_stencils
+open Hextile_ir
+module Check = Hextile_check
+module Par = Hextile_par.Par
+
+let test_env prog = fun p -> List.assoc p (Suite.test_params prog)
+
+let compare_results name (ref_r : Common.result) (tape_r : Common.result) =
+  Alcotest.(check (list (pair string int)))
+    (name ^ ": counters")
+    (Counters.to_assoc ref_r.counters)
+    (Counters.to_assoc tape_r.counters);
+  Alcotest.(check int) (name ^ ": updates") ref_r.updates tape_r.updates;
+  Alcotest.(check int) (name ^ ": blocks") ref_r.blocks tape_r.blocks;
+  Hashtbl.iter
+    (fun aname g ->
+      if not (Grid.equal g (Grid.find tape_r.grids aname)) then
+        Alcotest.failf "%s: array %s differs between engines" name aname)
+    ref_r.grids
+
+let hybrid ?pool ~engine prog env = Hybrid_exec.run ?pool ~engine prog env Device.gtx470
+
+(* Table 3 (plus the extra suite programs) on the hybrid scheme, at jobs
+   1, 2 and 4: the memoized tape engine against the closure reference. *)
+let test_hybrid_table3 () =
+  List.iter
+    (fun prog ->
+      let env = test_env prog in
+      let ref_r = hybrid ~engine:Common.Ref prog env in
+      let seq = hybrid ~engine:Common.Tape prog env in
+      compare_results (prog.Stencil.name ^ "/jobs1") ref_r seq;
+      List.iter
+        (fun jobs ->
+          Par.with_pool ~jobs (fun pool ->
+              let r = hybrid ~pool ~engine:Common.Tape prog env in
+              compare_results (Fmt.str "%s/jobs%d" prog.Stencil.name jobs) ref_r r))
+        [ 2; 4 ])
+    Suite.all
+
+(* The classical-tiling executors share the batched exec_stmt_row /
+   copy-in / copy-out paths; one representative per executor. *)
+let test_other_schemes () =
+  let check name run prog =
+    let env = test_env prog in
+    compare_results name (run Common.Ref prog env) (run Common.Tape prog env)
+  in
+  check "ppcg" (fun engine p e -> Ppcg.run ~engine p e Device.gtx470) Suite.jacobi2d;
+  check "par4all" (fun engine p e -> Par4all.run ~engine p e Device.gtx470) Suite.jacobi2d;
+  check "overtile"
+    (fun engine p e -> Overtile.run ~engine p e Device.gtx470)
+    Suite.jacobi2d;
+  check "split"
+    (fun engine p e -> Split_tiling.run ~engine p e Device.gtx470)
+    Suite.heat1d
+
+(* 25 fuzzed programs: random shapes (folded/in-place storage, multiple
+   statements, asymmetric offsets, degenerate domains) through the
+   hybrid scheme, engines compared at jobs 1 and 2. *)
+let test_fuzzed () =
+  let rng = Check.Rng.create 2024 in
+  for i = 1 to 25 do
+    let prog, env = Check.Gen.generate (Check.Rng.derive rng i) in
+    let e p = List.assoc p env in
+    let ref_r = hybrid ~engine:Common.Ref prog e in
+    compare_results (Fmt.str "fuzz%d/jobs1" i) ref_r (hybrid ~engine:Common.Tape prog e);
+    Par.with_pool ~jobs:2 (fun pool ->
+        compare_results
+          (Fmt.str "fuzz%d/jobs2" i)
+          ref_r
+          (hybrid ~pool ~engine:Common.Tape prog e))
+  done
+
+(* The memoization must actually fire on an interior-heavy instance —
+   otherwise the replay path is dead code and the suite proves nothing. *)
+let test_memoization_fires () =
+  let prog = Suite.jacobi2d in
+  let env p = List.assoc p [ ("N", 64); ("T", 8) ] in
+  let r = hybrid ~engine:Common.Tape prog env in
+  if r.blocks_memoized = 0 then
+    Alcotest.failf "no blocks memoized out of %d" r.blocks;
+  compare_results "jacobi2d-64" (hybrid ~engine:Common.Ref prog env) r
+
+(* With the sanitizer enabled the per-lane reference path must run (it
+   needs per-lane thread identities): no memoized blocks, same grids. *)
+let test_sanitizer_disables_memoization () =
+  let prog = Suite.jacobi2d in
+  let env p = List.assoc p [ ("N", 64); ("T", 8) ] in
+  let plain = hybrid ~engine:Common.Tape prog env in
+  Alcotest.(check bool) "memoizes without sanitizer" true (plain.blocks_memoized > 0);
+  Sanitize.enable ();
+  let r =
+    Fun.protect ~finally:Sanitize.disable (fun () -> hybrid ~engine:Common.Tape prog env)
+  in
+  Alcotest.(check int) "no memoized blocks under sanitizer" 0 r.blocks_memoized;
+  Hashtbl.iter
+    (fun aname g ->
+      if not (Grid.equal g (Grid.find plain.grids aname)) then
+        Alcotest.failf "sanitized run: array %s differs" aname)
+    r.grids
+
+let suite =
+  [
+    Alcotest.test_case "hybrid tape vs ref, suite, jobs 1/2/4" `Quick
+      test_hybrid_table3;
+    Alcotest.test_case "classical schemes tape vs ref" `Quick test_other_schemes;
+    Alcotest.test_case "hybrid tape vs ref, 25 fuzzed programs" `Quick test_fuzzed;
+    Alcotest.test_case "tile-class memoization fires" `Quick test_memoization_fires;
+    Alcotest.test_case "sanitizer forces uncached execution" `Quick
+      test_sanitizer_disables_memoization;
+  ]
