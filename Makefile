@@ -1,6 +1,6 @@
 # Convenience wrapper; `make check` is what CI runs.
 
-.PHONY: all build test check fmt clean profile-smoke fuzz bench bench-tilesize bench-sim
+.PHONY: all build test check fmt clean profile-smoke fuzz bench bench-parattr bench-tilesize bench-sim
 
 all: build
 
@@ -34,9 +34,18 @@ fuzz:
 # Fails if the parallel rows differ from the sequential ones, so this
 # doubles as a determinism check. Speedup depends on physical cores.
 JOBS ?= 4
-bench:
+bench: bench-parattr
 	dune exec bench/main.exe -- --only parcmp --jobs $(JOBS) --json BENCH_par.json
 	@python3 -c "import json; d=json.load(open('BENCH_par.json'))['experiments']['parcmp']; print('parcmp: jobs=%d speedup=%.2fx identical=%s' % (d['jobs'], d['speedup'], d['identical']))"
+
+# Parallel-time attribution: runs the Table 3 hybrid suite at jobs=N
+# with the timeline recorder on and attributes the jobs x wall-time
+# budget to {compute, idle, encode, replay, absorb} in
+# BENCH_parattr.json. Fails if the per-phase attribution does not sum
+# to the measured budget within 5%.
+bench-parattr:
+	dune exec bench/main.exe -- --only parattr --jobs $(JOBS) --json BENCH_parattr.json
+	@python3 -c "import json; d=json.load(open('BENCH_parattr.json'))['experiments']['parattr']; f=d['fractions']; print('parattr: jobs=%d wall=%.2fs compute=%.1f%% idle=%.1f%% coverage=%.1f%%' % (d['jobs'], d['wall_s'], 100*f['compute'], 100*f['idle'], 100*d['named_coverage']))"
 
 # Tile-size search benchmark: runs the staged (analytic-prune + exact)
 # search against the frozen exhaustive oracle over the Table 3 suite,

@@ -13,15 +13,23 @@
                                                  parallel runtime
      dune exec bench/main.exe -- --only parcmp --jobs 4 --json BENCH_par.json
                                               -- jobs=1 vs jobs=N comparison
+     dune exec bench/main.exe -- --only parattr --jobs 4 \
+         --json BENCH_parattr.json --trace-out parattr_trace.json
+                                              -- attribute jobs=N wall time to
+                                                 {compute, idle, encode,
+                                                 replay, absorb} phases
 
    With --json every selected experiment contributes a machine-readable
    entry keyed by its id: structured rows for the performance tables
    (table1/table2/table45/ablate/micro) and {"text": ...} wrappers for
    the figure reproductions, so the whole run can be diffed across
-   commits. *)
+   commits. The top-level "meta" block records git rev, OCaml version,
+   jobs and an injected timestamp (HEXTILE_BENCH_TIMESTAMP) so committed
+   BENCH_*.json files carry their provenance. *)
 
 module Experiments = Hextile_experiments.Experiments
 module Json = Hextile_obs.Json
+module Timeline = Hextile_obs.Timeline
 module Par = Hextile_par.Par
 open Hextile_gpusim
 open Hextile_stencils
@@ -138,6 +146,99 @@ let parcmp ~jobs ~quick () =
       ("speedup", Json.Float speedup);
       ("identical", Json.Bool identical);
       ("rows", Experiments.table12_json Device.gtx470 rows_n);
+    ]
+
+(* ---- parallel-time attribution: where do jobs=N worker-seconds go? --- *)
+
+(* Runs the Table 3 suite on the hybrid scheme under a jobs=N pool with
+   timeline recording on, then folds the per-domain tracks into a
+   wall-clock attribution over {compute, encode, idle, replay, absorb,
+   other} — the quantified target for the roadmap's "make parallelism
+   pay" item (BENCH_par.json shows jobs=4 *losing* to sequential).
+   Encode cost is attributed indirectly — the trace-event counts
+   carried by the "sim.encode" instants times the calibrated per-event
+   tbuf-push cost — because L2-trace encoding happens inline with block
+   compute. "other" is the residual of jobs x wall not covered by a
+   named phase (main-domain tiling/setup between regions, scheduler
+   bookkeeping). Fails if the phases do not sum to jobs x wall within
+   5%. The JSON lands in BENCH_parattr.json via `make bench`. *)
+let parattr ~jobs ~quick ~trace_out () =
+  section
+    (Fmt.str "Parallel-time attribution (Table 3 hybrid suite, jobs=%d)" jobs);
+  let dev = Device.gtx470 in
+  let encode_cost = Sim.encode_cost_per_event_s () in
+  Timeline.enable ();
+  let t0 = Unix.gettimeofday () in
+  Par.with_pool ~jobs (fun pool ->
+      List.iter
+        (fun (prog : Hextile_ir.Stencil.t) ->
+          let env = Experiments.sizes ~quick prog in
+          ignore
+            (Experiments.run_scheme ~pool ~verify:false Experiments.Hybrid prog
+               env dev))
+        Suite.table3);
+  let wall = Unix.gettimeofday () -. t0 in
+  let su = Timeline.summary () in
+  Option.iter Timeline.write_chrome trace_out;
+  Timeline.disable ();
+  let events =
+    List.fold_left (fun a tk -> a + tk.Timeline.tk_events) 0 su.Timeline.su_tracks
+  in
+  let encode_events = Timeline.arg_sum su "sim.encode" in
+  let encode = encode_events *. encode_cost in
+  let compute = Float.max 0.0 (Timeline.excl_s su "sim.block" -. encode) in
+  let idle = Timeline.incl_s su "par.idle" in
+  let replay = Timeline.incl_s su "sim.l2_replay" in
+  let absorb =
+    Timeline.incl_s su "par.absorb" +. Timeline.incl_s su "sim.absorb"
+  in
+  let worker_seconds = float_of_int jobs *. wall in
+  let named = compute +. encode +. idle +. replay +. absorb in
+  let other = Float.max 0.0 (worker_seconds -. named) in
+  let sum = compute +. encode +. idle +. replay +. absorb +. other in
+  let phases =
+    [
+      ("compute", compute);
+      ("encode", encode);
+      ("idle", idle);
+      ("replay", replay);
+      ("absorb", absorb);
+      ("other", other);
+    ]
+  in
+  Fmt.pr "jobs=%d wall %.3f s -> %.3f worker-seconds@." jobs wall worker_seconds;
+  List.iter
+    (fun (k, v) ->
+      Fmt.pr "  %-8s %8.3f s  (%5.1f%%)@." k v (100. *. v /. worker_seconds))
+    phases;
+  Fmt.pr "  coverage: named phases %.1f%%, %d timeline events, %d dropped@."
+    (100. *. named /. worker_seconds)
+    events su.Timeline.su_dropped;
+  let err = Float.abs (sum -. worker_seconds) /. worker_seconds in
+  if err > 0.05 then
+    failwith
+      (Fmt.str "parattr: phase attribution off by %.1f%% of jobs x wall"
+         (100. *. err));
+  Json.Obj
+    [
+      ("jobs", Json.Int jobs);
+      ("wall_s", Json.Float wall);
+      ("worker_seconds", Json.Float worker_seconds);
+      ("encode_cost_per_event_ns", Json.Float (1e9 *. encode_cost));
+      ("encode_events", Json.Float encode_events);
+      ("phases_s", Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) phases));
+      ( "fractions",
+        Json.Obj
+          (List.map (fun (k, v) -> (k, Json.Float (v /. worker_seconds))) phases)
+      );
+      ("named_coverage", Json.Float (named /. worker_seconds));
+      ( "timeline",
+        Json.Obj
+          [
+            ("tracks", Json.Int (List.length su.Timeline.su_tracks));
+            ("events", Json.Int events);
+            ("dropped", Json.Int su.Timeline.su_dropped);
+          ] );
     ]
 
 (* ---- executor benchmark: tape engine vs closure reference ------------ *)
@@ -425,11 +526,60 @@ let micro () =
     tests;
   Json.Obj [ ("unit", Json.Str "ms/run"); ("runs", Json.Obj (List.rev !rows)) ]
 
+(* ---- provenance for committed BENCH_*.json ---------------------------- *)
+
+(* Reads HEAD from .git directly (no subprocess) so `bench --json` works
+   in any environment that can build the tree. *)
+let git_rev () =
+  let read f =
+    try Some (String.trim (In_channel.with_open_text f In_channel.input_all))
+    with _ -> None
+  in
+  match read ".git/HEAD" with
+  | Some head when String.length head > 5 && String.sub head 0 5 = "ref: " ->
+      let r = String.sub head 5 (String.length head - 5) in
+      (match read (".git/" ^ r) with
+      | Some rev -> Some rev
+      | None -> (
+          (* the ref may only exist packed *)
+          match read ".git/packed-refs" with
+          | Some txt ->
+              List.find_map
+                (fun line ->
+                  match String.index_opt line ' ' with
+                  | Some i
+                    when String.sub line (i + 1) (String.length line - i - 1) = r
+                    ->
+                      Some (String.sub line 0 i)
+                  | _ -> None)
+                (String.split_on_char '\n' txt)
+          | None -> None))
+  | Some rev when String.length rev = 40 -> Some rev
+  | _ -> None
+
+(* The timestamp is injected (HEXTILE_BENCH_TIMESTAMP, e.g. set by CI to
+   the commit date) rather than read from the clock, so regenerating a
+   committed BENCH_*.json from the same tree yields a byte-identical
+   meta block. *)
+let meta ~jobs =
+  Json.Obj
+    [
+      ( "git_rev",
+        match git_rev () with Some r -> Json.Str r | None -> Json.Null );
+      ("ocaml_version", Json.Str Sys.ocaml_version);
+      ("jobs", Json.Int jobs);
+      ( "timestamp",
+        match Sys.getenv_opt "HEXTILE_BENCH_TIMESTAMP" with
+        | Some t -> Json.Str t
+        | None -> Json.Null );
+    ]
+
 let () =
   let only = ref []
   and quick = ref true
   and do_micro = ref true
   and jobs = ref (Par.recommended_jobs ())
+  and trace_out = ref None
   and json_out = ref None in
   let rec parse = function
     | [] -> ()
@@ -447,18 +597,21 @@ let () =
         | Some j when j >= 1 -> jobs := j
         | _ -> Fmt.epr "--jobs expects a positive integer, got %s@." n);
         parse rest
+    | "--trace-out" :: f :: rest ->
+        trace_out := Some f;
+        parse rest
     | "--json" :: f :: rest ->
         json_out := Some f;
         parse rest
     | x :: rest ->
         Fmt.epr
           "unknown argument %s (expected --only <id> | --full | --no-micro | \
-           --jobs <n> | --json <file>)@."
+           --jobs <n> | --trace-out <file> | --json <file>)@."
           x;
         parse rest
   in
   parse (List.tl (Array.to_list Sys.argv));
-  let quick = !quick and jobs = !jobs in
+  let quick = !quick and jobs = !jobs and trace_out = !trace_out in
   Par.with_pool ~jobs @@ fun pool ->
   let all =
     [
@@ -477,6 +630,7 @@ let () =
       ("table2", table2 ~pool ~quick);
       ("table45", tables45 ~pool ~quick);
       ("parcmp", parcmp ~jobs ~quick);
+      ("parattr", parattr ~jobs ~quick ~trace_out);
       ("simcmp", simcmp ~jobs ~quick);
       ("tilesearch", tilesearch ~jobs ~quick);
       ("micro", micro);
@@ -485,13 +639,13 @@ let () =
   let selected =
     match !only with
     | [] ->
-        (* micro has its own timing loop; parcmp, tilesearch and simcmp
-           spawn their own pools and time things — all run only on
+        (* micro has its own timing loop; parcmp, parattr, tilesearch and
+           simcmp spawn their own pools and time things — all run only on
            request *)
         List.filter
           (fun id ->
-            id <> "micro" && id <> "parcmp" && id <> "tilesearch"
-            && id <> "simcmp")
+            id <> "micro" && id <> "parcmp" && id <> "parattr"
+            && id <> "tilesearch" && id <> "simcmp")
           (List.map fst all)
     | l ->
         List.concat_map
@@ -517,7 +671,8 @@ let () =
       let doc =
         Json.Obj
           [
-            ("bench_version", Json.Int 1);
+            ("bench_version", Json.Int 2);
+            ("meta", meta ~jobs);
             ("quick", Json.Bool quick);
             ("experiments", Json.Obj results);
           ]

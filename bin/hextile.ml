@@ -6,6 +6,7 @@
 open Cmdliner
 module Experiments = Hextile_experiments.Experiments
 module Obs = Hextile_obs.Obs
+module Timeline = Hextile_obs.Timeline
 module Json = Hextile_obs.Json
 module Par = Hextile_par.Par
 open Hextile_ir
@@ -97,6 +98,30 @@ let with_trace trace k =
         ~finally:(fun () ->
           Obs.write_json path;
           Obs.disable ())
+        k
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Record a wall-clock per-domain timeline and write it to \
+           $(docv) as a Chrome trace-event JSON file (one track per \
+           domain; open in Perfetto or chrome://tracing). Recording \
+           never changes counters, grids or any other output.")
+
+(* Like --trace: recording covers the whole command and the trace file
+   is written even when the command fails partway. *)
+let with_trace_out trace_out k =
+  match trace_out with
+  | None -> k ()
+  | Some path ->
+      Timeline.enable ();
+      Fun.protect
+        ~finally:(fun () ->
+          Timeline.write_chrome path;
+          Timeline.disable ())
         k
 
 let with_prog file builtin k =
@@ -199,19 +224,22 @@ let engine_arg =
            the per-lane closure $(b,ref)erence interpreter.")
 
 let run_cmd =
-  let run file builtin scheme engine dev n t trace jobs =
+  let run file builtin scheme engine dev n t trace trace_out jobs =
     with_prog file builtin (fun prog ->
         with_trace trace (fun () ->
+            with_trace_out trace_out @@ fun () ->
             Par.with_pool ~jobs @@ fun pool ->
             let env = [ ("N", n); ("T", t) ] in
             let t0 = Unix.gettimeofday () in
             match Experiments.run_scheme ~pool ~engine scheme prog env dev with
             | r ->
                 (* like tilesize: the simulation summary goes to stderr
-                   unconditionally so stdout stays parseable *)
-                Fmt.epr "sim: wall=%.3fms blocks=%d memoized=%d@."
-                  (1000.0 *. (Unix.gettimeofday () -. t0))
-                  r.blocks r.blocks_memoized;
+                   unconditionally so stdout stays parseable; the format
+                   is the key=value contract of Experiments.sim_summary *)
+                Fmt.epr "%s@."
+                  (Experiments.sim_summary
+                     ~wall_s:(Unix.gettimeofday () -. t0)
+                     ~jobs ~engine r);
                 Fmt.pr "%s on %s, N=%d T=%d: verified OK@." r.scheme prog.name n t;
                 Fmt.pr "updates            %d@." r.updates;
                 Fmt.pr "GStencils/s        %.3f@." (Common.gstencils_per_s r);
@@ -228,12 +256,13 @@ let run_cmd =
        ~doc:"Simulate a scheme on the GPU model and verify against the reference.")
     Term.(
       const run $ file_arg $ builtin_arg $ scheme_arg $ engine_arg $ device_arg
-      $ n_arg $ t_arg $ trace_arg $ jobs_arg)
+      $ n_arg $ t_arg $ trace_arg $ trace_out_arg $ jobs_arg)
 
 let tilesize_cmd =
-  let run file builtin trace jobs =
+  let run file builtin trace trace_out jobs =
     with_prog file builtin (fun prog ->
         with_trace trace (fun () ->
+            with_trace_out trace_out @@ fun () ->
             Par.with_pool ~jobs @@ fun pool ->
             let dims = Stencil.spatial_dims prog in
             let wi = List.init (dims - 1) (fun d -> if d = dims - 2 then [ 32; 64 ] else [ 4; 6; 10 ]) in
@@ -259,7 +288,7 @@ let tilesize_cmd =
   in
   Cmd.v
     (Cmd.info "tilesize" ~doc:"Select tile sizes by load-to-compute ratio (Sec 3.7).")
-    Term.(const run $ file_arg $ builtin_arg $ trace_arg $ jobs_arg)
+    Term.(const run $ file_arg $ builtin_arg $ trace_arg $ trace_out_arg $ jobs_arg)
 
 (* ---- profile: the whole pipeline under one trace ----------------------- *)
 
@@ -295,10 +324,28 @@ let timeline_of_trace () =
   List.iter walk (Obs.roots ());
   List.rev !entries
 
+let timeline_arg =
+  Arg.(
+    value & flag
+    & info [ "timeline" ]
+        ~doc:
+          "Record the wall-clock per-domain timeline and print a \
+           busy/idle/steal/absorb breakdown per domain, the slowest \
+           slices, and per-slice latency histograms to stderr.")
+
 let profile_cmd =
-  let run file builtin scheme dev n t h w output jobs =
+  let run file builtin scheme dev n t h w output jobs trace_out timeline =
     Obs.reset ();
     Obs.enable ();
+    let record = timeline || trace_out <> None in
+    if record then Timeline.enable ();
+    Fun.protect ~finally:(fun () ->
+        if record then begin
+          Option.iter Timeline.write_chrome trace_out;
+          if timeline then Fmt.epr "%a" Timeline.pp_summary ();
+          Timeline.disable ()
+        end)
+    @@ fun () ->
     let loaded =
       Obs.span "frontend" (fun () ->
           Obs.annot "source"
@@ -386,7 +433,7 @@ let profile_cmd =
           the tracing layer and emit a single nvprof-style JSON profile.")
     Term.(
       const run $ file_arg $ builtin_arg $ scheme_arg $ device_arg $ n_arg $ t_arg
-      $ h_arg $ w_arg $ output_arg $ jobs_arg)
+      $ h_arg $ w_arg $ output_arg $ jobs_arg $ trace_out_arg $ timeline_arg)
 
 let fuzz_cmd =
   let module Check = Hextile_check in
@@ -454,7 +501,8 @@ let fuzz_cmd =
             List.iter (fun f -> Fmt.pr "%a@." Check.Oracle.pp_failure f) failures;
             1)
   in
-  let run seed count shrink mutate schemes out replay_file device n t jobs =
+  let run seed count shrink mutate schemes out replay_file device n t trace_out
+      jobs =
     let unknown =
       List.filter
         (fun s -> not (List.mem s Check.Oracle.all_scheme_names))
@@ -467,6 +515,7 @@ let fuzz_cmd =
       1
     end
     else
+      with_trace_out trace_out @@ fun () ->
       Par.with_pool ~jobs @@ fun pool ->
       match replay_file with
       | Some file -> replay ~pool file mutate schemes device n t
@@ -497,7 +546,8 @@ let fuzz_cmd =
           reference interpreter.")
     Term.(
       const run $ seed_arg $ count_arg $ shrink_arg $ mutate_arg $ schemes_arg
-      $ out_arg $ replay_arg $ device_arg $ n_arg $ t_arg $ jobs_arg)
+      $ out_arg $ replay_arg $ device_arg $ n_arg $ t_arg $ trace_out_arg
+      $ jobs_arg)
 
 let list_cmd =
   (* Diagnostic listing goes to stderr, like all other non-result output,

@@ -18,6 +18,20 @@ let scheme_name = function
   | Patus -> "Patus"
   | Hybrid -> "hybrid"
 
+let engine_name = function Common.Ref -> "ref" | Common.Tape -> "tape"
+
+(* The [hextile run] stderr summary. Machine-parseable contract,
+   asserted by the test suite and documented in the README: the fixed
+   prefix "sim:" followed by space-separated key=value tokens; keys
+   are lowercase [a-z0-9_]+, values contain neither spaces nor '=';
+   the keys wall_ms, blocks, blocks_memoized, engine and jobs are
+   always present, in that order (consumers must tolerate new keys
+   being appended). *)
+let sim_summary ~wall_s ~jobs ~engine (r : Common.result) =
+  Fmt.str "sim: wall_ms=%.3f blocks=%d blocks_memoized=%d engine=%s jobs=%d"
+    (1000.0 *. wall_s) r.Common.blocks r.Common.blocks_memoized
+    (engine_name engine) jobs
+
 let sizes ~quick (p : Stencil.t) =
   let n2, t2 = if quick then (128, 24) else (256, 48) in
   let n3, t3 = if quick then (64, 12) else (96, 24) in

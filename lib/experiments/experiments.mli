@@ -20,6 +20,18 @@ type scheme = Ppcg | Par4all | Overtile | Patus | Hybrid
 
 val scheme_name : scheme -> string
 
+val engine_name : Common.engine -> string
+(** ["ref"] or ["tape"], as accepted by [hextile run --engine]. *)
+
+val sim_summary :
+  wall_s:float -> jobs:int -> engine:Common.engine -> Common.result -> string
+(** The [hextile run] stderr summary line. Contract: the fixed prefix
+    ["sim:"] followed by space-separated [key=value] tokens — keys are
+    lowercase [[a-z0-9_]+], values contain neither spaces nor ['='],
+    and the keys [wall_ms], [blocks], [blocks_memoized], [engine] and
+    [jobs] are always present, in that order. Consumers must tolerate
+    new keys being appended. *)
+
 val sizes : quick:bool -> Stencil.t -> (string * int) list
 (** Scaled instantiation of a benchmark (quick: N=128/T=24 in 2D,
     N=48/T=12 in 3D; full: doubled). *)

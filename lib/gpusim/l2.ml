@@ -62,3 +62,17 @@ let flush t =
 
 let reset t = ignore (flush t)
 let line_bytes t = t.line_bytes
+
+let stats t =
+  let valid = ref 0 and dirty = ref 0 in
+  Array.iteri
+    (fun si set ->
+      Array.iteri
+        (fun i tag ->
+          if tag >= 0 then begin
+            incr valid;
+            if t.dirty.(si).(i) then incr dirty
+          end)
+        set)
+    t.tags;
+  (!valid, !dirty)

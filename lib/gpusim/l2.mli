@@ -18,3 +18,9 @@ val flush : t -> int
 
 val reset : t -> unit
 val line_bytes : t -> int
+
+val stats : t -> int * int
+(** [(valid_lines, dirty_lines)] currently resident — a cheap occupancy
+    probe; the timeline layer attaches it to replay instants so traces
+    show how full/dirty the shared L2 was when a launch's traces were
+    replayed. *)

@@ -1,4 +1,5 @@
 module Obs = Hextile_obs.Obs
+module Tl = Hextile_obs.Timeline
 module Par = Hextile_par.Par
 
 type t = {
@@ -600,16 +601,33 @@ let run_blocks_parallel t pool ~name ~order ~f =
                L2.reset sh.sl1;
                sh.strace <- tbuf_create ();
                traces.(k) <- Some sh.strace;
+               Tl.begin_ ~arg:(float_of_int b) "sim.block";
                if sanitize then
                  reports.(k) <-
                    Some (Sanitize.capture_block ~name ~block:b (fun () -> f b))
-               else f b
+               else f b;
+               (* arg = L2-trace events encoded for this block; the
+                  encode cost is inline with compute, so the attribution
+                  multiplies this by the calibrated per-event push cost *)
+               Tl.instant ~arg:(float_of_int sh.strace.len) "sim.encode";
+               Tl.end_ ()
              done)));
+  (* the determinism tax, made visible: sequential counter merge, then
+     sequential replay of the encoded traces through the shared L2 *)
+  Tl.begin_ ~arg:(float_of_int nchunks) "sim.absorb";
   Array.iter (fun c -> Counters.add t.total c) chunk_counters;
+  Tl.end_ ();
+  Tl.begin_ ~arg:(float_of_int nblocks) "sim.l2_replay";
   Array.iter (function Some tr -> replay_l2 t tr | None -> ()) traces;
+  if Tl.enabled () then begin
+    let _valid, dirty = L2.stats t.l2 in
+    Tl.instant ~arg:(float_of_int dirty) "sim.l2_dirty_lines"
+  end;
+  Tl.end_ ();
   if sanitize then
-    Sanitize.absorb_block_reports
-      (Array.map (function Some r -> r | None -> assert false) reports)
+    Tl.slice "sim.absorb" (fun () ->
+        Sanitize.absorb_block_reports
+          (Array.map (function Some r -> r | None -> assert false) reports))
 
 let launch ?pool t ~name ~blocks ~threads ~shared_bytes ~f =
   if threads > t.dev.max_threads_per_block then
@@ -621,6 +639,8 @@ let launch ?pool t ~name ~blocks ~threads ~shared_bytes ~f =
       (Fmt.str "Sim.launch %s: %d B shared memory exceed device limit %d" name
          shared_bytes t.dev.shared_mem_bytes);
   if blocks > 0 then begin
+    Tl.begin_ ~arg:(float_of_int blocks) "sim.launch";
+    Fun.protect ~finally:Tl.end_ @@ fun () ->
     let before = Counters.copy t.total in
     (* new launch, new generation: tile-class memo tables keyed by
        {!generation} never leak streams across launches *)
@@ -675,6 +695,27 @@ let launch ?pool t ~name ~blocks ~threads ~shared_bytes ~f =
              List.map (fun (k, v) -> (k, Obs.Int v)) (Counters.to_assoc delta);
            ])
   end
+
+(* Calibrate the per-event cost of L2-trace encoding. The encode
+   ([tbuf_push] in [load_line]/[store_line]) happens inline with block
+   compute, so the timeline cannot slice it out per event; instead the
+   parattr attribution multiplies the recorded event count (the
+   "sim.encode" instant args) by this measured steady-state push cost,
+   amortised growth included. *)
+let encode_cost_per_event_s () =
+  let b = tbuf_create () in
+  let warm = 1 lsl 14 and n = 1 lsl 19 in
+  for i = 0 to warm - 1 do
+    tbuf_push b (i lsl 1)
+  done;
+  b.len <- 0;
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to n - 1 do
+    tbuf_push b (i lsl 1)
+  done;
+  let t1 = Unix.gettimeofday () in
+  ignore (Sys.opaque_identity b.buf.(n - 1));
+  (t1 -. t0) /. float_of_int n
 
 let kernel_time t = List.fold_left (fun acc l -> acc +. l.time_s) 0.0 t.launches
 

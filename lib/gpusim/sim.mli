@@ -68,7 +68,14 @@ val launch :
     simulator state beyond the warp-event calls and per-cell grid
     writes). All counters and findings are bit-identical to the
     sequential run; with a 1-job pool, from inside another parallel
-    region, or without [pool] the exact sequential path runs. *)
+    region, or without [pool] the exact sequential path runs.
+
+    When {!Hextile_obs.Timeline} recording is enabled, every launch
+    emits a ["sim.launch"] slice, and the parallel path additionally
+    emits per-block ["sim.block"] slices with ["sim.encode"] instants
+    (arg = L2-trace events encoded), plus ["sim.absorb"] and
+    ["sim.l2_replay"] slices around the sequential join phases — the
+    wall-clock cost of the determinism contract. *)
 
 (** {2 Warp-level events} — call from inside [f]. Address arrays have one
     entry per lane ([None] = inactive lane) and at most [warp_size]
@@ -191,6 +198,13 @@ val roofline_components : Device.t -> blocks:int -> Counters.t -> (string * floa
 
 val bottleneck_of : Device.t -> blocks:int -> Counters.t -> string
 (** Name of the slowest roofline resource for these counter deltas. *)
+
+val encode_cost_per_event_s : unit -> float
+(** Measured steady-state cost of one L2-trace [tbuf] push (amortised
+    growth included). Encoding happens inline with block compute on the
+    parallel path, so the timeline cannot slice it out per event; the
+    bench parattr attribution multiplies the recorded event counts (the
+    ["sim.encode"] instant args) by this calibration instead. *)
 
 val kernel_time : t -> float
 (** Sum of launch times. *)

@@ -1,0 +1,99 @@
+(* Latency histogram over power-of-two nanosecond buckets.
+
+   [add] is allocation-free (three field writes and one array bump), so
+   the timeline recorder can feed it from every closed slice without
+   perturbing what it measures. Quantiles are bucket-resolution
+   estimates: within the winning bucket the value is interpolated
+   linearly, which is exact enough for a 2x-wide bucket report. *)
+
+type t = {
+  mutable n : int;
+  mutable sum_s : float;
+  mutable min_s : float;
+  mutable max_s : float;
+  buckets : int array;  (** bucket [i] counts durations in [2^i, 2^(i+1)) ns *)
+}
+
+let nbuckets = 64
+
+let create () =
+  { n = 0; sum_s = 0.0; min_s = infinity; max_s = neg_infinity; buckets = Array.make nbuckets 0 }
+
+let bucket_of_s dur_s =
+  let ns = dur_s *. 1e9 in
+  if not (ns > 1.0) then 0
+  else
+    (* frexp: ns = m * 2^e with m in [0.5, 1), so e-1 is floor(log2 ns) *)
+    let _, e = Float.frexp ns in
+    min (nbuckets - 1) (max 0 (e - 1))
+
+let add h dur_s =
+  h.n <- h.n + 1;
+  h.sum_s <- h.sum_s +. dur_s;
+  if dur_s < h.min_s then h.min_s <- dur_s;
+  if dur_s > h.max_s then h.max_s <- dur_s;
+  let b = h.buckets.(bucket_of_s dur_s) in
+  ignore b;
+  h.buckets.(bucket_of_s dur_s) <- h.buckets.(bucket_of_s dur_s) + 1
+
+let count h = h.n
+let sum_s h = h.sum_s
+let mean_s h = if h.n = 0 then 0.0 else h.sum_s /. float_of_int h.n
+let max_s h = if h.n = 0 then 0.0 else h.max_s
+let min_s h = if h.n = 0 then 0.0 else h.min_s
+
+let merge dst src =
+  dst.n <- dst.n + src.n;
+  dst.sum_s <- dst.sum_s +. src.sum_s;
+  if src.n > 0 then begin
+    if src.min_s < dst.min_s then dst.min_s <- src.min_s;
+    if src.max_s > dst.max_s then dst.max_s <- src.max_s
+  end;
+  Array.iteri (fun i c -> dst.buckets.(i) <- dst.buckets.(i) + c) src.buckets
+
+let quantile h q =
+  if h.n = 0 then 0.0
+  else begin
+    let q = Float.min 1.0 (Float.max 0.0 q) in
+    let rank = q *. float_of_int h.n in
+    let seen = ref 0.0 and res = ref h.max_s in
+    (try
+       for i = 0 to nbuckets - 1 do
+         let c = float_of_int h.buckets.(i) in
+         if c > 0.0 then begin
+           if !seen +. c >= rank then begin
+             (* interpolate inside the [2^i, 2^(i+1)) ns bucket *)
+             let lo = Float.ldexp 1.0 i *. 1e-9 in
+             let frac = if c = 0.0 then 0.0 else (rank -. !seen) /. c in
+             res := lo *. (1.0 +. frac);
+             raise Exit
+           end;
+           seen := !seen +. c
+         end
+       done
+     with Exit -> ());
+    Float.min !res h.max_s |> Float.max h.min_s
+  end
+
+let pp ppf h =
+  if h.n = 0 then Fmt.pf ppf "(empty)"
+  else
+    Fmt.pf ppf "n=%d mean=%.3fms p50=%.3fms p90=%.3fms p99=%.3fms max=%.3fms"
+      h.n (1e3 *. mean_s h)
+      (1e3 *. quantile h 0.5)
+      (1e3 *. quantile h 0.9)
+      (1e3 *. quantile h 0.99)
+      (1e3 *. max_s h)
+
+let to_json h =
+  Json.Obj
+    [
+      ("count", Json.Int h.n);
+      ("sum_s", Json.Float h.sum_s);
+      ("mean_s", Json.Float (mean_s h));
+      ("min_s", Json.Float (min_s h));
+      ("max_s", Json.Float (max_s h));
+      ("p50_s", Json.Float (quantile h 0.5));
+      ("p90_s", Json.Float (quantile h 0.9));
+      ("p99_s", Json.Float (quantile h 0.99));
+    ]

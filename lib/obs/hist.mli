@@ -1,0 +1,33 @@
+(** Latency histogram with power-of-two nanosecond buckets.
+
+    Complements the deterministic counters in {!Obs}: histograms hold
+    wall-clock durations, so their contents vary run to run and are
+    never part of the determinism contract. {!add} performs no
+    allocation, which lets the {!Timeline} recorder feed a histogram
+    from every closed slice without distorting the measurement. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+(** [add h dur_s] records a duration in seconds. Allocation-free. *)
+
+val merge : t -> t -> unit
+(** [merge dst src] folds [src] into [dst]; [src] is unchanged. *)
+
+val count : t -> int
+val sum_s : t -> float
+val mean_s : t -> float
+val min_s : t -> float
+(** 0.0 when empty. *)
+
+val max_s : t -> float
+(** 0.0 when empty. *)
+
+val quantile : t -> float -> float
+(** [quantile h q] for [q] in [0,1]: bucket-resolution estimate,
+    linearly interpolated within the winning power-of-two bucket and
+    clamped to the observed min/max. *)
+
+val pp : Format.formatter -> t -> unit
+val to_json : t -> Json.t

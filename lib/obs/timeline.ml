@@ -1,0 +1,527 @@
+(* Wall-clock, per-domain timeline recorder.
+
+   This layer is deliberately separate from the deterministic span /
+   counter registry in {!Obs}: timelines hold monotonically-stamped
+   wall-clock events whose contents differ run to run, while Obs
+   counters must stay bit-identical at every --jobs value. Nothing
+   here feeds back into Obs, so enabling recording cannot perturb any
+   deterministic output.
+
+   Each domain owns one track: flat ring-style arrays of (kind, name,
+   timestamp, numeric arg) written only by that domain, so the record
+   path takes no lock and performs no buffer allocation. When a track
+   fills we stop recording into it (drop-newest) and count the drops;
+   this keeps the recorded prefix well-formed instead of tearing
+   begin/end pairs apart. Export (Chrome trace JSON, text summary)
+   snapshots the track list under a mutex; a worker parked in
+   Condition.wait may leave its innermost slice open, which readers
+   close at the last timestamp they saw. *)
+
+type kind = K_begin | K_end | K_instant | K_flow_s | K_flow_f
+
+let kind_code = function
+  | K_begin -> 0
+  | K_end -> 1
+  | K_instant -> 2
+  | K_flow_s -> 3
+  | K_flow_f -> 4
+
+let kind_of_code = function
+  | 0 -> K_begin
+  | 1 -> K_end
+  | 2 -> K_instant
+  | 3 -> K_flow_s
+  | _ -> K_flow_f
+
+let max_depth = 64
+
+type track = {
+  tr_tid : int;  (** domain id, the Perfetto thread id *)
+  mutable tr_name : string;
+  tr_cap : int;
+  tr_kinds : Bytes.t;
+  tr_names : string array;
+  tr_ts : float array;  (** absolute Unix.gettimeofday *)
+  tr_args : float array;  (** slice/instant arg, or flow id *)
+  mutable tr_len : int;
+  mutable tr_dropped : int;
+  (* open-slice stack, used by [end_] to attribute durations *)
+  st_names : string array;
+  st_ts : float array;
+  mutable st_depth : int;
+  tr_hists : (string, Hist.t) Hashtbl.t;
+  mutable tr_gen : int;  (** generation stamp; stale tracks are re-inited *)
+}
+
+let now () = Unix.gettimeofday ()
+let on = ref false
+let default_capacity = 1 lsl 18
+let capacity = ref default_capacity
+let epoch = ref (now ())
+let gen = ref 0
+let mu = Mutex.create ()
+let tracks : track list ref = ref []
+let flow_counter = Atomic.make 1
+
+let tkey : track option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let label_key : string option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let default_name tid =
+  if Domain.is_main_domain () then "main" else Fmt.str "domain-%d" tid
+
+let make_track () =
+  let tid = (Domain.self () :> int) in
+  let cap = !capacity in
+  {
+    tr_tid = tid;
+    tr_name =
+      (match Domain.DLS.get label_key with
+      | Some l -> l
+      | None -> default_name tid);
+    tr_cap = cap;
+    tr_kinds = Bytes.make cap '\000';
+    tr_names = Array.make cap "";
+    tr_ts = Array.make cap 0.0;
+    tr_args = Array.make cap 0.0;
+    tr_len = 0;
+    tr_dropped = 0;
+    st_names = Array.make max_depth "";
+    st_ts = Array.make max_depth 0.0;
+    st_depth = 0;
+    tr_hists = Hashtbl.create 16;
+    tr_gen = !gen;
+  }
+
+let register tr =
+  Mutex.lock mu;
+  tracks := tr :: !tracks;
+  Mutex.unlock mu
+
+(* Lazily create (or, after a [reset], re-initialise) this domain's
+   track. Only the first event after enable/reset pays this cost. *)
+let cur_track () =
+  match Domain.DLS.get tkey with
+  | Some tr when tr.tr_gen = !gen -> tr
+  | Some tr when tr.tr_cap = !capacity ->
+      tr.tr_len <- 0;
+      tr.tr_dropped <- 0;
+      tr.st_depth <- 0;
+      Hashtbl.reset tr.tr_hists;
+      tr.tr_name <-
+        (match Domain.DLS.get label_key with
+        | Some l -> l
+        | None -> default_name tr.tr_tid);
+      tr.tr_gen <- !gen;
+      register tr;
+      tr
+  | _ ->
+      let tr = make_track () in
+      Domain.DLS.set tkey (Some tr);
+      register tr;
+      tr
+
+let enabled () = !on
+
+let reset () =
+  Mutex.lock mu;
+  incr gen;
+  tracks := [];
+  epoch := now ();
+  Mutex.unlock mu
+
+let enable ?capacity:(cap = default_capacity) () =
+  capacity := cap;
+  reset ();
+  on := true
+
+let disable () = on := false
+
+let label name =
+  Domain.DLS.set label_key (Some name);
+  match Domain.DLS.get tkey with
+  | Some tr -> tr.tr_name <- name
+  | None -> ()
+
+(* ---- record path -------------------------------------------------------- *)
+
+let push tr kind name arg t =
+  let i = tr.tr_len in
+  if i < tr.tr_cap then begin
+    Bytes.unsafe_set tr.tr_kinds i (Char.unsafe_chr (kind_code kind));
+    Array.unsafe_set tr.tr_names i name;
+    Array.unsafe_set tr.tr_ts i t;
+    Array.unsafe_set tr.tr_args i arg;
+    tr.tr_len <- i + 1
+  end
+  else tr.tr_dropped <- tr.tr_dropped + 1
+
+let begin_ ?(arg = 0.0) name =
+  if !on then begin
+    let tr = cur_track () in
+    let t = now () in
+    if tr.st_depth < max_depth then begin
+      tr.st_names.(tr.st_depth) <- name;
+      tr.st_ts.(tr.st_depth) <- t
+    end;
+    tr.st_depth <- tr.st_depth + 1;
+    push tr K_begin name arg t
+  end
+
+let end_ () =
+  if !on then begin
+    let tr = cur_track () in
+    let t = now () in
+    if tr.st_depth > 0 then begin
+      tr.st_depth <- tr.st_depth - 1;
+      if tr.st_depth < max_depth then begin
+        let name = tr.st_names.(tr.st_depth) in
+        let dur = t -. tr.st_ts.(tr.st_depth) in
+        (match Hashtbl.find_opt tr.tr_hists name with
+        | Some h -> Hist.add h dur
+        | None ->
+            let h = Hist.create () in
+            Hist.add h dur;
+            Hashtbl.replace tr.tr_hists name h);
+        push tr K_end name 0.0 t
+      end
+    end
+  end
+
+let slice ?arg name f =
+  if not !on then f ()
+  else begin
+    begin_ ?arg name;
+    Fun.protect ~finally:end_ f
+  end
+
+let instant ?(arg = 0.0) name =
+  if !on then push (cur_track ()) K_instant name arg (now ())
+
+let flow_id () = Atomic.fetch_and_add flow_counter 1
+
+let flow_s id =
+  if !on then push (cur_track ()) K_flow_s "task" (float_of_int id) (now ())
+
+let flow_f id =
+  if !on then push (cur_track ()) K_flow_f "task" (float_of_int id) (now ())
+
+(* ---- snapshots ----------------------------------------------------------- *)
+
+let snapshot () =
+  Mutex.lock mu;
+  let ts = List.sort (fun a b -> compare a.tr_tid b.tr_tid) !tracks in
+  Mutex.unlock mu;
+  ts
+
+let dropped () = List.fold_left (fun a tr -> a + tr.tr_dropped) 0 (snapshot ())
+
+(* ---- aggregation --------------------------------------------------------- *)
+
+type slice_tot = {
+  sl_name : string;
+  sl_count : int;
+  sl_incl_s : float;  (** wall time inside slices of this name *)
+  sl_excl_s : float;  (** inclusive minus time in child slices *)
+  sl_arg : float;  (** sum of begin/instant args of this name *)
+}
+
+type track_tot = {
+  tk_tid : int;
+  tk_name : string;
+  tk_busy_s : float;  (** covered by top-level slices *)
+  tk_events : int;
+  tk_dropped : int;
+  tk_slices : slice_tot list;  (** sorted by exclusive time, descending *)
+}
+
+type summary = {
+  su_tracks : track_tot list;
+  su_slowest : (string * string * float * float) list;
+      (** slice name, track name, start since epoch (s), duration (s) *)
+  su_hist : (string * Hist.t) list;  (** merged across tracks *)
+  su_dropped : int;
+  su_span_s : float;  (** last recorded timestamp minus epoch *)
+}
+
+(* Replay one track's event stream through a shadow stack, producing
+   per-name totals. Slices still open at the end of the buffer (e.g. a
+   worker parked in its idle wait during export) are closed at the last
+   timestamp seen in that track. *)
+let walk_track ~consider_slice tr =
+  let n = tr.tr_len in
+  let per_name : (string, slice_tot ref) Hashtbl.t = Hashtbl.create 16 in
+  let bump name f =
+    match Hashtbl.find_opt per_name name with
+    | Some r -> r := f !r
+    | None ->
+        Hashtbl.replace per_name name
+          (ref
+             (f
+                {
+                  sl_name = name;
+                  sl_count = 0;
+                  sl_incl_s = 0.0;
+                  sl_excl_s = 0.0;
+                  sl_arg = 0.0;
+                }))
+  in
+  let stack_name = Array.make max_depth ""
+  and stack_ts = Array.make max_depth 0.0
+  and stack_child = Array.make max_depth 0.0 in
+  let depth = ref 0 and busy = ref 0.0 and last_t = ref !epoch in
+  let close name ts0 child t =
+    let incl = t -. ts0 in
+    let excl = Float.max 0.0 (incl -. child) in
+    bump name (fun s ->
+        {
+          s with
+          sl_count = s.sl_count + 1;
+          sl_incl_s = s.sl_incl_s +. incl;
+          sl_excl_s = s.sl_excl_s +. excl;
+        });
+    consider_slice name tr.tr_name ts0 incl;
+    if !depth = 0 then busy := !busy +. incl
+    else stack_child.(!depth - 1) <- stack_child.(!depth - 1) +. incl
+  in
+  for i = 0 to n - 1 do
+    let t = tr.tr_ts.(i) in
+    if t > !last_t then last_t := t;
+    match kind_of_code (Char.code (Bytes.get tr.tr_kinds i)) with
+    | K_begin ->
+        if !depth < max_depth then begin
+          stack_name.(!depth) <- tr.tr_names.(i);
+          stack_ts.(!depth) <- t;
+          stack_child.(!depth) <- 0.0
+        end;
+        incr depth;
+        bump tr.tr_names.(i) (fun s -> { s with sl_arg = s.sl_arg +. tr.tr_args.(i) })
+    | K_end ->
+        if !depth > 0 then begin
+          decr depth;
+          if !depth < max_depth then
+            close stack_name.(!depth) stack_ts.(!depth) stack_child.(!depth) t
+        end
+    | K_instant ->
+        bump tr.tr_names.(i) (fun s ->
+            { s with sl_count = s.sl_count + 1; sl_arg = s.sl_arg +. tr.tr_args.(i) })
+    | K_flow_s | K_flow_f -> ()
+  done;
+  (* close whatever is still open at the last timestamp we saw *)
+  while !depth > 0 do
+    decr depth;
+    if !depth < max_depth then
+      close stack_name.(!depth) stack_ts.(!depth) stack_child.(!depth) !last_t
+  done;
+  let slices =
+    Hashtbl.fold (fun _ r acc -> !r :: acc) per_name []
+    |> List.sort (fun a b -> compare b.sl_excl_s a.sl_excl_s)
+  in
+  ( {
+      tk_tid = tr.tr_tid;
+      tk_name = tr.tr_name;
+      tk_busy_s = !busy;
+      tk_events = n;
+      tk_dropped = tr.tr_dropped;
+      tk_slices = slices;
+    },
+    !last_t )
+
+let top_k = 10
+
+let summary () =
+  let slow = ref [] in
+  (* keep the [top_k] longest closed slices, shortest first *)
+  let consider_slice name track ts0 dur =
+    let entry = (name, track, ts0 -. !epoch, dur) in
+    let l =
+      List.sort (fun (_, _, _, a) (_, _, _, b) -> compare a b) (entry :: !slow)
+    in
+    slow := (if List.length l > top_k then List.tl l else l)
+  in
+  let trs = snapshot () in
+  let span = ref 0.0 in
+  let tots =
+    List.map
+      (fun tr ->
+        let tot, last_t = walk_track ~consider_slice tr in
+        if last_t -. !epoch > !span then span := last_t -. !epoch;
+        tot)
+      trs
+  in
+  let hist : (string, Hist.t) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun tr ->
+      Hashtbl.iter
+        (fun name h ->
+          match Hashtbl.find_opt hist name with
+          | Some dst -> Hist.merge dst h
+          | None ->
+              let dst = Hist.create () in
+              Hist.merge dst h;
+              Hashtbl.replace hist name dst)
+        tr.tr_hists)
+    trs;
+  {
+    su_tracks = tots;
+    su_slowest =
+      List.sort
+        (fun (_, _, _, a) (_, _, _, b) -> compare b a)
+        !slow;
+    su_hist =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) hist []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b);
+    su_dropped = List.fold_left (fun a tr -> a + tr.tr_dropped) 0 trs;
+    su_span_s = !span;
+  }
+
+(* Exclusive seconds attributed to [name] summed over all tracks; used
+   by the bench parattr attribution. *)
+let excl_s su name =
+  List.fold_left
+    (fun acc tk ->
+      List.fold_left
+        (fun acc sl -> if String.equal sl.sl_name name then acc +. sl.sl_excl_s else acc)
+        acc tk.tk_slices)
+    0.0 su.su_tracks
+
+let incl_s su name =
+  List.fold_left
+    (fun acc tk ->
+      List.fold_left
+        (fun acc sl -> if String.equal sl.sl_name name then acc +. sl.sl_incl_s else acc)
+        acc tk.tk_slices)
+    0.0 su.su_tracks
+
+let arg_sum su name =
+  List.fold_left
+    (fun acc tk ->
+      List.fold_left
+        (fun acc sl -> if String.equal sl.sl_name name then acc +. sl.sl_arg else acc)
+        acc tk.tk_slices)
+    0.0 su.su_tracks
+
+let pp_summary ppf () =
+  let su = summary () in
+  Fmt.pf ppf "timeline: %d track(s), span %.3f ms%s@."
+    (List.length su.su_tracks)
+    (1e3 *. su.su_span_s)
+    (if su.su_dropped > 0 then Fmt.str ", %d event(s) dropped" su.su_dropped
+     else "");
+  List.iter
+    (fun tk ->
+      Fmt.pf ppf "  [%d] %-12s busy %8.3f ms  (%d events%s)@." tk.tk_tid
+        tk.tk_name (1e3 *. tk.tk_busy_s) tk.tk_events
+        (if tk.tk_dropped > 0 then Fmt.str ", %d dropped" tk.tk_dropped else "");
+      List.iteri
+        (fun i sl ->
+          if i < 12 then
+            Fmt.pf ppf "      %-22s n=%-7d incl %9.3f ms  excl %9.3f ms%s@."
+              sl.sl_name sl.sl_count (1e3 *. sl.sl_incl_s) (1e3 *. sl.sl_excl_s)
+              (if sl.sl_arg <> 0.0 then Fmt.str "  arg=%g" sl.sl_arg else ""))
+        tk.tk_slices)
+    su.su_tracks;
+  (match su.su_slowest with
+  | [] -> ()
+  | slow ->
+      Fmt.pf ppf "  slowest slices:@.";
+      List.iter
+        (fun (name, track, start, dur) ->
+          Fmt.pf ppf "      %-22s %-12s at %10.3f ms  for %9.3f ms@." name track
+            (1e3 *. start) (1e3 *. dur))
+        slow);
+  match su.su_hist with
+  | [] -> ()
+  | hs ->
+      Fmt.pf ppf "  latency histograms:@.";
+      List.iter
+        (fun (name, h) -> Fmt.pf ppf "      %-22s %a@." name Hist.pp h)
+        hs
+
+(* ---- Chrome trace-event export ------------------------------------------ *)
+
+(* Self-contained writer for the Chrome trace-event JSON format
+   (catapult "JSON Array Format"); the output opens directly in
+   Perfetto / chrome://tracing. One pid for the process, one tid (=
+   domain id) per track, timestamps in microseconds since the recorder
+   epoch. Events are streamed to the channel rather than built as a
+   Json.t so a full 256k-event ring never has to materialise in one
+   allocation. *)
+
+let esc b s =
+  Buffer.clear b;
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_chrome_channel oc =
+  let b = Buffer.create 64 in
+  let first = ref true in
+  let emit fmt =
+    if !first then first := false else Out_channel.output_string oc ",\n ";
+    Printf.ksprintf (Out_channel.output_string oc) fmt
+  in
+  Out_channel.output_string oc "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n ";
+  emit
+    "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\",\"args\":{\"name\":\"hextile\"}}";
+  let trs = snapshot () in
+  List.iter
+    (fun tr ->
+      emit
+        "{\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"name\":\"thread_name\",\"args\":{\"name\":\"%s\"}}"
+        tr.tr_tid (esc b tr.tr_name))
+    trs;
+  List.iter
+    (fun tr ->
+      let tid = tr.tr_tid in
+      for i = 0 to tr.tr_len - 1 do
+        let ts = (tr.tr_ts.(i) -. !epoch) *. 1e6 in
+        let name = tr.tr_names.(i) in
+        let arg = tr.tr_args.(i) in
+        match kind_of_code (Char.code (Bytes.get tr.tr_kinds i)) with
+        | K_begin ->
+            if arg = 0.0 then
+              emit
+                "{\"ph\":\"B\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"name\":\"%s\",\"cat\":\"hextile\"}"
+                tid ts (esc b name)
+            else
+              emit
+                "{\"ph\":\"B\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"name\":\"%s\",\"cat\":\"hextile\",\"args\":{\"v\":%g}}"
+                tid ts (esc b name) arg
+        | K_end ->
+            emit
+              "{\"ph\":\"E\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"name\":\"%s\",\"cat\":\"hextile\"}"
+              tid ts (esc b name)
+        | K_instant ->
+            if arg = 0.0 then
+              emit
+                "{\"ph\":\"i\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"name\":\"%s\",\"cat\":\"hextile\",\"s\":\"t\"}"
+                tid ts (esc b name)
+            else
+              emit
+                "{\"ph\":\"i\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"name\":\"%s\",\"cat\":\"hextile\",\"s\":\"t\",\"args\":{\"v\":%g}}"
+                tid ts (esc b name) arg
+        | K_flow_s ->
+            emit
+              "{\"ph\":\"s\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"name\":\"task\",\"cat\":\"flow\",\"id\":%d}"
+              tid ts (int_of_float arg)
+        | K_flow_f ->
+            emit
+              "{\"ph\":\"f\",\"bp\":\"e\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"name\":\"task\",\"cat\":\"flow\",\"id\":%d}"
+              tid ts (int_of_float arg)
+      done)
+    trs;
+  Out_channel.output_string oc "\n]}\n"
+
+let write_chrome path =
+  Out_channel.with_open_text path write_chrome_channel

@@ -1,4 +1,5 @@
 module Obs = Hextile_obs.Obs
+module Tl = Hextile_obs.Timeline
 
 type pool = {
   jobs : int;
@@ -22,7 +23,11 @@ let rec worker_loop p =
     | None ->
         if p.stop then None
         else begin
+          (* empty queue: this wait is the worker's idle gap *)
+          Tl.instant "par.steal_miss";
+          Tl.begin_ "par.idle";
           Condition.wait p.cond p.mu;
+          Tl.end_ ();
           next ()
         end
   in
@@ -30,7 +35,9 @@ let rec worker_loop p =
   | None -> Mutex.unlock p.mu
   | Some task ->
       Mutex.unlock p.mu;
+      Tl.begin_ "par.steal";
       task ();
+      Tl.end_ ();
       worker_loop p
 
 let create ~jobs =
@@ -45,7 +52,11 @@ let create ~jobs =
       workers = [||];
     }
   in
-  p.workers <- Array.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop p));
+  p.workers <-
+    Array.init (jobs - 1) (fun i ->
+        Domain.spawn (fun () ->
+            Tl.label (Fmt.str "worker-%d" (i + 1));
+            worker_loop p));
   p
 
 let shutdown p =
@@ -70,19 +81,30 @@ let run p (thunks : (unit -> unit) array) =
   else if p.jobs = 1 || in_region () || n = 1 then
     Array.iter (fun f -> f ()) thunks
   else begin
+    Tl.begin_ ~arg:(float_of_int n) "par.region";
+    Fun.protect ~finally:Tl.end_ @@ fun () ->
     let remaining = ref n in
     let errs : (exn * Printexc.raw_backtrace) option array = Array.make n None in
     let forks = Array.make n None in
+    (* flow arrows pair each enqueue (on the caller's track) with the
+       start of execution (on whichever domain dequeued it); task 0 runs
+       inline so it gets no arrow *)
+    let fids =
+      if Tl.enabled () then Array.init n (fun _ -> Tl.flow_id ()) else [||]
+    in
     let exec i =
       let saved = Domain.DLS.get in_region_key in
       Domain.DLS.set in_region_key true;
       Fun.protect
         ~finally:(fun () -> Domain.DLS.set in_region_key saved)
         (fun () ->
+          if i > 0 && Array.length fids > 0 then Tl.flow_f fids.(i);
+          Tl.begin_ ~arg:(float_of_int i) "par.task";
           Obs.fork_begin ();
           (try thunks.(i) ()
            with e -> errs.(i) <- Some (e, Printexc.get_raw_backtrace ()));
-          forks.(i) <- Some (Obs.fork_end ()))
+          forks.(i) <- Some (Obs.fork_end ());
+          Tl.end_ ())
     in
     let finished () =
       Mutex.lock p.mu;
@@ -92,6 +114,7 @@ let run p (thunks : (unit -> unit) array) =
     in
     Mutex.lock p.mu;
     for i = 1 to n - 1 do
+      if Array.length fids > 0 then Tl.flow_s fids.(i);
       Queue.add
         (fun () ->
           exec i;
@@ -108,17 +131,23 @@ let run p (thunks : (unit -> unit) array) =
       match Queue.take_opt p.tasks with
       | Some task ->
           Mutex.unlock p.mu;
+          Tl.begin_ "par.steal";
           task ();
+          Tl.end_ ();
           help ()
       | None ->
           while !remaining > 0 do
-            Condition.wait p.cond p.mu
+            Tl.begin_ "par.idle";
+            Condition.wait p.cond p.mu;
+            Tl.end_ ()
           done;
           Mutex.unlock p.mu
     in
     help ();
     (* deterministic merge: absorb per-task Obs buffers in task order *)
+    Tl.begin_ ~arg:(float_of_int n) "par.absorb";
     Array.iter (function Some fk -> Obs.absorb fk | None -> ()) forks;
+    Tl.end_ ();
     match Array.find_map Fun.id errs with
     | Some (e, bt) -> Printexc.raise_with_backtrace e bt
     | None -> ()

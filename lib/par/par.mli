@@ -25,7 +25,17 @@
     (domain-local registry); forks are absorbed into the caller's
     registry in task order once the region completes, so counter totals
     match the sequential run exactly (span {e ordering} within a region
-    may differ — spans carry wall-clock timestamps anyway). *)
+    may differ — spans carry wall-clock timestamps anyway).
+
+    Independently, when {!Hextile_obs.Timeline} recording is enabled the
+    pool emits wall-clock slices onto per-domain tracks: ["par.region"]
+    around each region on the caller, ["par.task"] around every task
+    (with a flow arrow from its enqueue), ["par.steal"] around each
+    dequeue-and-run, ["par.idle"] for queue-empty waits (plus
+    ["par.steal_miss"] instants), and ["par.absorb"] around the ordered
+    fork merge. Worker tracks are labelled ["worker-N"]. The timeline
+    never feeds back into [Obs], so recording cannot perturb the
+    determinism contract. *)
 
 type pool
 

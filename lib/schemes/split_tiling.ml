@@ -26,7 +26,17 @@ let run ?pool ?engine ?(config = default_config) prog env dev =
          width r hh);
   let lo = ctx.lo.(0).(0) and hi = ctx.hi.(0).(0) in
   let span = hi - lo + 1 in
-  let nbase = (span + width - 1) / width in
+  (* A clipped last tile narrower than the dependence reach over the
+     block would vanish partway up, merging the phase-B gaps around it —
+     and the merged gap's owner would read cells that a later block of
+     the same launch writes. Absorb such a remainder into its left
+     neighbour so no upright ever vanishes and gaps never merge. *)
+  let nbase0 = (span + width - 1) / width in
+  let rem = span - ((nbase0 - 1) * width) in
+  let nbase, wlast =
+    if nbase0 > 1 && rem <= 2 * r * hh then (nbase0 - 1, width + rem)
+    else (nbase0, rem)
+  in
   let stmts = ctx.stmts in
   let exec_interval ~tstep ~xlo ~xhi ~read_value ~write_value ~shared_addr =
     if xlo <= xhi then
@@ -42,16 +52,20 @@ let run ?pool ?engine ?(config = default_config) prog env dev =
   in
   let tt0 = ref 0 in
   while !tt0 < ctx.steps do
-    let hh_eff = min hh (ctx.steps - !tt0) in
+    (* a single-tile domain can itself be narrower than the reach over
+       the block; cap the block height so the tile survives every step *)
+    let hh_eff =
+      min (min hh (ctx.steps - !tt0)) (1 + ((span - 1) / (2 * r)))
+    in
     let t0 = !tt0 in
     (* ---- phase A: upright trapezoids --------------------------------- *)
     let snap = Common.snapshot ctx in
     Sim.launch ?pool ctx.sim
       ~name:(Fmt.str "split_up_tt%d" t0)
-      ~blocks:nbase ~threads:(min width 256) ~shared_bytes:0
+      ~blocks:nbase ~threads:(min (max width wlast) 256) ~shared_bytes:0
       ~f:(fun b ->
         let base_lo = lo + (b * width) in
-        let base_hi = min hi (base_lo + width - 1) in
+        let base_hi = if b = nbase - 1 then hi else base_lo + width - 1 in
         (* copy-in the base plus read halo, from the pre-launch snapshot *)
         let inlo = max lo (base_lo - r) and inhi = min hi (base_hi + r) in
         let lay = Common.Layout.create () in
@@ -109,12 +123,15 @@ let run ?pool ?engine ?(config = default_config) prog env dev =
       ;
     (* ---- phase B: inverted trapezoids -------------------------------- *)
     (* Upright tile k at step j covers [ulo k j, uhi k j]; the inverted
-       block at boundary b owns the gap containing its boundary, unless a
-       smaller boundary lies in the same (merged) gap — clipped tiles at
-       the domain edge can vanish at later steps, merging gaps. *)
+       block at boundary b owns the gap containing its boundary. Every
+       upright is wider than the reach over the block (narrow remainders
+       were absorbed above), so no upright vanishes and every gap holds
+       exactly one boundary; the owner scan below is kept as a guard. *)
     let ulo k j = lo + (k * width) + (r * j) in
-    let uhi k j = min hi (lo + ((k + 1) * width) - 1) - (r * j) in
-    let bnd_of b = min (lo + (b * width)) (hi + 1) in
+    let uhi k j =
+      (if k = nbase - 1 then hi else lo + ((k + 1) * width) - 1) - (r * j)
+    in
+    let bnd_of b = if b >= nbase then hi + 1 else min (lo + (b * width)) (hi + 1) in
     let gap_of b j =
       let bnd = bnd_of b in
       (* nearest nonempty upright strictly left / right of the boundary *)

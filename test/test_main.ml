@@ -15,4 +15,5 @@ let () =
       ("codegen", Test_codegen.suite);
       ("experiments", Test_experiments.suite);
       ("obs", Test_obs.suite);
+      ("timeline", Test_timeline.suite);
     ]

@@ -145,6 +145,51 @@ let test_trace_json_roundtrip () =
       let events = Option.get (Json.to_list (Option.get (Json.member "events" root))) in
       Alcotest.(check int) "event recorded" 1 (List.length events)
 
+let test_absorb_after_reset () =
+  (* A fork detached before a reset must still absorb cleanly into the
+     fresh registry: its counters are plain deltas, so the merged totals
+     are exactly the fork's own bumps. *)
+  Obs.incr ~by:10 "pre.reset";
+  Obs.fork_begin ();
+  Obs.span "forked" (fun () -> Obs.incr ~by:3 "fork.count");
+  let f = Obs.fork_end () in
+  Obs.reset ();
+  Alcotest.(check int) "reset dropped main counters" 0 (Obs.counter "pre.reset");
+  Obs.absorb f;
+  Alcotest.(check int) "fork counters survive" 3 (Obs.counter "fork.count");
+  (match Obs.roots () with
+  | [ r ] -> Alcotest.(check string) "fork span survives" "forked" r.Obs.sname
+  | roots -> Alcotest.failf "expected one root, got %d" (List.length roots));
+  (* absorbing the same fork twice is plain re-addition, like
+     Counters.add *)
+  Obs.absorb f;
+  Alcotest.(check int) "second absorb re-adds" 6 (Obs.counter "fork.count")
+
+let test_absorb_order_determinism () =
+  (* Forks absorbed in task-index order yield the same span sequence no
+     matter which domain ran which task; a second pass in the same order
+     must reproduce the first exactly. *)
+  let mk i =
+    Obs.fork_begin ();
+    Obs.span (Fmt.str "task%d" i) (fun () ->
+        Obs.annot "i" (Obs.Int i);
+        Obs.incr ~by:i "order.count");
+    Obs.fork_end ()
+  in
+  let shape () =
+    List.map
+      (fun t -> (t.Obs.sname, List.assoc "i" t.Obs.attrs))
+      (Obs.roots ())
+  in
+  let forks = List.init 5 mk in
+  List.iter Obs.absorb forks;
+  let first = shape () in
+  Alcotest.(check int) "all forks absorbed" 5 (List.length first);
+  Obs.reset ();
+  let forks = List.init 5 mk in
+  List.iter Obs.absorb forks;
+  Alcotest.(check bool) "same order, same trace" true (first = shape ())
+
 let test_json_parse_values () =
   let ok s = Result.get_ok (Json.parse s) in
   Alcotest.(check bool) "null" true (ok "null" = Json.Null);
@@ -215,6 +260,9 @@ let suite =
       (with_obs test_trace_json_roundtrip);
     Alcotest.test_case "tape-engine counters in profile JSON" `Quick
       (with_obs test_tape_engine_counters);
+    Alcotest.test_case "absorb after reset" `Quick (with_obs test_absorb_after_reset);
+    Alcotest.test_case "absorb order determinism" `Quick
+      (with_obs test_absorb_order_determinism);
     Alcotest.test_case "JSON parser values" `Quick test_json_parse_values;
     Alcotest.test_case "JSON printer/parser round trip" `Quick
       test_json_roundtrip_values;
