@@ -1,6 +1,6 @@
 # Convenience wrapper; `make check` is what CI runs.
 
-.PHONY: all build test check fmt clean profile-smoke fuzz bench bench-parattr bench-tilesize bench-sim
+.PHONY: all build test check fmt clean profile-smoke fuzz bench bench-parattr bench-tilesize bench-sim bench-analytic
 
 all: build
 
@@ -66,6 +66,17 @@ bench-tilesize:
 bench-sim:
 	dune exec bench/main.exe -- --only simcmp --jobs 2 --json BENCH_sim.json
 	@python3 -c "import json; d=json.load(open('BENCH_sim.json'))['experiments']['simcmp']; print('simcmp: ref %.2fs tape %.2fs speedup=%.2fx' % (d['t_ref_s'], d['t_tape_s'], d['speedup']))"
+
+# Analytic-mode benchmark: differential check of the hierarchical
+# (class-scaled) simulation against the exact engine over the scaled
+# Table 3 suite, then the paper's actual full-size instances
+# (3072^2 x 512 and 384^3 x 128) under a per-instance wall-clock budget
+# (default 300 s; override with HEXTILE_ANALYTIC_BUDGET_S). Fails on
+# any counter/grid divergence, a DRAM error above the documented bound,
+# or a budget overrun. The JSON lands in BENCH_analytic.json.
+bench-analytic:
+	dune exec bench/main.exe -- --only analytic --jobs 2 --json BENCH_analytic.json
+	@python3 -c "import json; d=json.load(open('BENCH_analytic.json'))['experiments']['analytic']; f=d['full_size']; print('analytic: scaled speedup=%.2fx max dram err=%.4f; ' % (d['speedup'], d['max_dram_err']) + ', '.join('%s %.0fs (%d/%d blocks scaled)' % (k, v['wall_s'], v['blocks_analytic'], v['blocks']) for k, v in f.items()))"
 
 clean:
 	dune clean

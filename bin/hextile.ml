@@ -223,15 +223,34 @@ let engine_arg =
           "Execution engine: the warp-batched register $(b,tape) (default) or \
            the per-lane closure $(b,ref)erence interpreter.")
 
+let analytic_arg =
+  Arg.(
+    value & flag
+    & info [ "analytic" ]
+        ~doc:
+          "Hierarchical simulation: instance-execute one representative \
+           block per tile class and derive the rest analytically \
+           (hybrid scheme only; counters bit-identical except the \
+           DRAM pair, whose error is bounded). Makes the paper's \
+           full-size instances (e.g. $(b,-N 3072 -T 512)) tractable. \
+           Implies no reference verification.")
+
 let run_cmd =
-  let run file builtin scheme engine dev n t trace trace_out jobs =
+  let run file builtin scheme engine dev n t analytic trace trace_out jobs =
     with_prog file builtin (fun prog ->
         with_trace trace (fun () ->
             with_trace_out trace_out @@ fun () ->
             Par.with_pool ~jobs @@ fun pool ->
             let env = [ ("N", n); ("T", t) ] in
             let t0 = Unix.gettimeofday () in
-            match Experiments.run_scheme ~pool ~engine scheme prog env dev with
+            (* the reference interpreter is infeasible at the full-size
+               instances --analytic exists for; the analytic mode's own
+               grids are differentially validated by the test suite *)
+            let verify = not analytic in
+            match
+              Experiments.run_scheme ~pool ~engine ~analytic ~verify scheme
+                prog env dev
+            with
             | r ->
                 (* like tilesize: the simulation summary goes to stderr
                    unconditionally so stdout stays parseable; the format
@@ -240,8 +259,12 @@ let run_cmd =
                   (Experiments.sim_summary
                      ~wall_s:(Unix.gettimeofday () -. t0)
                      ~jobs ~engine r);
-                Fmt.pr "%s on %s, N=%d T=%d: verified OK@." r.scheme prog.name n t;
+                Fmt.pr "%s on %s, N=%d T=%d: %s@." r.scheme prog.name n t
+                  (if verify then "verified OK" else "completed (analytic)");
                 Fmt.pr "updates            %d@." r.updates;
+                (if analytic then
+                   Fmt.pr "blocks analytic    %d of %d (%d classes)@."
+                     r.blocks_analytic r.blocks r.classes);
                 Fmt.pr "GStencils/s        %.3f@." (Common.gstencils_per_s r);
                 Fmt.pr "kernel time        %.3e s (+ %.3e s transfer)@." r.kernel_time
                   r.transfer_time;
@@ -256,7 +279,7 @@ let run_cmd =
        ~doc:"Simulate a scheme on the GPU model and verify against the reference.")
     Term.(
       const run $ file_arg $ builtin_arg $ scheme_arg $ engine_arg $ device_arg
-      $ n_arg $ t_arg $ trace_arg $ trace_out_arg $ jobs_arg)
+      $ n_arg $ t_arg $ analytic_arg $ trace_arg $ trace_out_arg $ jobs_arg)
 
 let tilesize_cmd =
   let run file builtin trace trace_out jobs =

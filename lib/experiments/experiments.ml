@@ -24,13 +24,15 @@ let engine_name = function Common.Ref -> "ref" | Common.Tape -> "tape"
    asserted by the test suite and documented in the README: the fixed
    prefix "sim:" followed by space-separated key=value tokens; keys
    are lowercase [a-z0-9_]+, values contain neither spaces nor '=';
-   the keys wall_ms, blocks, blocks_memoized, engine and jobs are
-   always present, in that order (consumers must tolerate new keys
-   being appended). *)
+   the keys wall_ms, blocks, blocks_memoized, engine, jobs,
+   blocks_analytic and classes are always present, in that order
+   (consumers must tolerate new keys being appended). *)
 let sim_summary ~wall_s ~jobs ~engine (r : Common.result) =
-  Fmt.str "sim: wall_ms=%.3f blocks=%d blocks_memoized=%d engine=%s jobs=%d"
+  Fmt.str
+    "sim: wall_ms=%.3f blocks=%d blocks_memoized=%d engine=%s jobs=%d \
+     blocks_analytic=%d classes=%d"
     (1000.0 *. wall_s) r.Common.blocks r.Common.blocks_memoized
-    (engine_name engine) jobs
+    (engine_name engine) jobs r.Common.blocks_analytic r.Common.classes
 
 let sizes ~quick (p : Stencil.t) =
   let n2, t2 = if quick then (128, 24) else (256, 48) in
@@ -42,6 +44,13 @@ let sizes ~quick (p : Stencil.t) =
 
 (* Paper full-size working sets for the machine-balance scaling. *)
 let paper_env (p : Stencil.t) = Suite.table3_params p
+
+(* The full-size Table 1/2 instances themselves. At these parameters
+   [scaled_device] is the identity (every ratio is 1), so
+   [run_scheme ~analytic:true ~verify:false] simulates the paper's
+   actual working sets on the unscaled device — tractable only through
+   the analytic mode's class decomposition. *)
+let paper_sizes = paper_env
 
 let env_fn l x = List.assoc x l
 
@@ -102,7 +111,8 @@ let verify_result (r : Common.result) prog env =
       (Fmt.str "%s on %s: executed %d statement instances, reference has %d"
          r.scheme prog.Stencil.name r.updates expected)
 
-let run_scheme ?pool ?engine ?(verify = true) scheme (prog : Stencil.t) env dev =
+let run_scheme ?pool ?engine ?analytic ?(verify = true) scheme (prog : Stencil.t)
+    env dev =
   Obs.span "experiments.run_scheme" @@ fun () ->
   Obs.annot "scheme" (Obs.Str (scheme_name scheme));
   Obs.annot "stencil" (Obs.Str prog.name);
@@ -134,7 +144,7 @@ let run_scheme ?pool ?engine ?(verify = true) scheme (prog : Stencil.t) env dev 
             | _ -> Some r)
           None cands
         |> Option.get
-    | Hybrid -> Hybrid_exec.run ?pool ?engine prog e dev
+    | Hybrid -> Hybrid_exec.run ?pool ?engine ?analytic prog e dev
   in
   if verify then Obs.span "experiments.verify" (fun () -> verify_result r prog env);
   r

@@ -28,9 +28,9 @@ val sim_summary :
 (** The [hextile run] stderr summary line. Contract: the fixed prefix
     ["sim:"] followed by space-separated [key=value] tokens — keys are
     lowercase [[a-z0-9_]+], values contain neither spaces nor ['='],
-    and the keys [wall_ms], [blocks], [blocks_memoized], [engine] and
-    [jobs] are always present, in that order. Consumers must tolerate
-    new keys being appended. *)
+    and the keys [wall_ms], [blocks], [blocks_memoized], [engine],
+    [jobs], [blocks_analytic] and [classes] are always present, in that
+    order. Consumers must tolerate new keys being appended. *)
 
 val sizes : quick:bool -> Stencil.t -> (string * int) list
 (** Scaled instantiation of a benchmark (quick: N=128/T=24 in 2D,
@@ -39,9 +39,18 @@ val sizes : quick:bool -> Stencil.t -> (string * int) list
 val scaled_device : Device.t -> Stencil.t -> (string * int) list -> Device.t
 (** Shrink L2 and launch overhead to preserve the paper's ratios. *)
 
+val paper_sizes : Stencil.t -> (string * int) list
+(** The paper's full-size Table 1/2 instantiation of a benchmark
+    (Table 3 parameters: N=3072, T=512 in 2D; N=384, T=128 in 3D). At
+    these parameters {!scaled_device} is the identity, so
+    [run_scheme ~analytic:true ~verify:false] simulates the actual
+    paper working set on the unscaled device model — tractable only
+    through the analytic mode. *)
+
 val run_scheme :
   ?pool:Hextile_par.Par.pool ->
   ?engine:Common.engine ->
+  ?analytic:bool ->
   ?verify:bool ->
   scheme ->
   Stencil.t ->
@@ -52,7 +61,9 @@ val run_scheme :
     With [verify] (default true) the final grids are compared against the
     reference interpreter and the executed instance count is checked;
     failures raise. [?pool] parallelizes the simulated thread blocks;
-    results are identical by the determinism contract. *)
+    results are identical by the determinism contract. [?analytic]
+    enables the hierarchical simulation mode (hybrid scheme only; other
+    schemes ignore it — see {!Hybrid_exec.run}). *)
 
 (** {2 Tables} *)
 

@@ -1,0 +1,99 @@
+(* Class-population counter scaling and the analytic L2/DRAM model for
+   the hierarchical (tile-class) simulation mode. See analytic.mli for
+   the exactness argument. *)
+
+let dram_error_bound = 0.5
+
+(* Every counter except the DRAM pair and [kernels] is per-block state:
+   coalescing is recomputed per event from addresses whose translation is
+   a whole number of lines, the L1 is private and reset per block (a
+   uniform line-shift rotates its set mapping bijectively, preserving the
+   hit/miss sequence), and shared-memory conflict counts are
+   base-independent. So a class member's delta equals its
+   representative's delta field-for-field, and population scaling is
+   bit-exact. The DRAM pair depends on the shared cross-block L2 state
+   and is modelled by {!replay_lines} instead. *)
+let scale_into (into : Counters.t) ~(delta : Counters.t) ~times =
+  if times < 0 then invalid_arg "Analytic.scale_into: negative times";
+  let k = times in
+  into.gld_inst <- into.gld_inst + (k * delta.gld_inst);
+  into.gst_inst <- into.gst_inst + (k * delta.gst_inst);
+  into.gld_requests <- into.gld_requests + (k * delta.gld_requests);
+  into.gld_transactions <- into.gld_transactions + (k * delta.gld_transactions);
+  into.gst_transactions <- into.gst_transactions + (k * delta.gst_transactions);
+  into.gld_useful_bytes <- into.gld_useful_bytes + (k * delta.gld_useful_bytes);
+  into.l2_read_transactions <-
+    into.l2_read_transactions + (k * delta.l2_read_transactions);
+  into.l2_write_transactions <-
+    into.l2_write_transactions + (k * delta.l2_write_transactions);
+  into.shared_load_requests <-
+    into.shared_load_requests + (k * delta.shared_load_requests);
+  into.shared_load_transactions <-
+    into.shared_load_transactions + (k * delta.shared_load_transactions);
+  into.shared_store_requests <-
+    into.shared_store_requests + (k * delta.shared_store_requests);
+  into.shared_store_transactions <-
+    into.shared_store_transactions + (k * delta.shared_store_transactions);
+  into.serial_store_transactions <-
+    into.serial_store_transactions + (k * delta.serial_store_transactions);
+  into.flops <- into.flops + (k * delta.flops);
+  into.syncs <- into.syncs + (k * delta.syncs)
+
+(* First-touch-ordered distinct lines of a recorded stream, encoded as
+   [(line lsl 1) lor write] — the same encoding as the parallel path's L2
+   traces. A line is emitted once at its first load and once at its first
+   store: repeated accesses overwhelmingly hit (the block's own L1/L2
+   residency absorbs them), so the compressed trace keeps the L2's state
+   evolution while dropping the per-event walk. *)
+let lines_of_stream (s : Tileclass.stream) ~line_bytes =
+  let seen : (int, unit) Hashtbl.t = Hashtbl.create 512 in
+  let out = ref [] in
+  let n = ref 0 in
+  let touch ~write line =
+    let enc = (line lsl 1) lor if write then 1 else 0 in
+    if not (Hashtbl.mem seen enc) then begin
+      Hashtbl.add seen enc ();
+      out := enc :: !out;
+      incr n
+    end
+  in
+  let run ~write addr bytes =
+    let lo = addr / line_bytes and hi = (addr + bytes - 1) / line_bytes in
+    for l = lo to hi do
+      touch ~write l
+    done
+  in
+  Tileclass.iter s ~f:(function
+    | Tileclass.Gload_run { addr; n; _ } -> run ~write:false addr (4 * n)
+    | Gstore_run { addr; n; _ } -> run ~write:true addr (4 * n)
+    | Gload_lanes { addrs; _ } ->
+        Array.iter (fun a -> touch ~write:false (a / line_bytes)) addrs
+    | Gstore_lanes { addrs; _ } ->
+        Array.iter (fun a -> touch ~write:true (a / line_bytes)) addrs
+    | Shared_load _ | Shared_store _ | Flops _ | Sync | Compute _ -> ());
+  let arr = Array.make !n 0 in
+  List.iteri (fun i enc -> arr.(!n - 1 - i) <- enc) !out;
+  arr
+
+(* Touch a translated compressed trace through the shared L2, charging
+   t.total's DRAM counters exactly like [Sim.replay_l2] does for full
+   traces. Must run on the main domain (launch epilogue). *)
+let replay_lines (t : Sim.t) lines ~dline =
+  let c = t.Sim.total in
+  let lb = t.Sim.dev.Device.line_bytes in
+  Array.iter
+    (fun enc ->
+      let addr = ((enc lsr 1) + dline) * lb in
+      if enc land 1 = 1 then begin
+        let o = L2.access t.Sim.l2 ~addr ~write:true in
+        if o.writeback then
+          c.dram_write_transactions <- c.dram_write_transactions + 1
+      end
+      else begin
+        let o = L2.access t.Sim.l2 ~addr ~write:false in
+        if not o.hit then
+          c.dram_read_transactions <- c.dram_read_transactions + 1;
+        if o.writeback then
+          c.dram_write_transactions <- c.dram_write_transactions + 1
+      end)
+    lines

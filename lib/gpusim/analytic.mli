@@ -1,0 +1,50 @@
+(** Counter scaling and the L2/DRAM model for the analytic (hierarchical)
+    simulation mode.
+
+    The hybrid executor partitions each launch's blocks into tile
+    classes (equal [Hybrid_exec.class_key] ⇒ identical event streams up
+    to a per-region byte translation of [4·Δs00·stride0]). The analytic
+    mode instance-executes one representative per interior class plus
+    every boundary-clipped block, and derives the remaining blocks:
+
+    - {b Per-block counters} scale bit-exactly by class population
+      ({!scale_into}) whenever every array region shares one s0 stride
+      and the translation is a whole number of cache lines
+      ([4·stride0 mod line_bytes = 0]): coalescing runs shift by whole
+      lines (line counts invariant), the per-block L1's set mapping is
+      rotated bijectively (hit/miss sequence invariant), and shared
+      memory events carry base-independent conflict counts. The executor
+      checks this condition and falls back to the exact per-event
+      {!Sim.replay_stream} path when it fails.
+    - {b DRAM traffic} depends on the shared cross-block L2 state, which
+      a skipped block does not evolve. It is modelled by replaying each
+      scaled block's {e compressed trace} — the first-touch-ordered set
+      of distinct lines it loads/stores ({!lines_of_stream}), translated
+      by the block's line delta — through the real shared L2
+      ({!replay_lines}). This keeps compulsory misses, inter-block halo
+      reuse and eviction pressure, and drops only the repeated accesses
+      that the block's own cache residency would absorb; the residual
+      error against the exact simulator is bounded by
+      {!dram_error_bound} (asserted, not just logged, by
+      [test/test_analytic.ml] and the analytic bench). *)
+
+val dram_error_bound : float
+(** Documented relative error bound on [dram_read_transactions] and
+    [dram_write_transactions] in analytic mode, measured as
+    [|analytic - exact| / max 1 exact] over a whole run. All other
+    counters are bit-exact. *)
+
+val scale_into : Counters.t -> delta:Counters.t -> times:int -> unit
+(** Add [times × delta] to every per-block-exact counter — all fields
+    except [dram_read_transactions], [dram_write_transactions] (modelled
+    separately) and [kernels] (owned by {!Sim.launch}). *)
+
+val lines_of_stream : Tileclass.stream -> line_bytes:int -> int array
+(** Distinct global lines of a recorded stream in first-touch order,
+    encoded [(line lsl 1) lor write] (one entry per line per direction) —
+    the scaled blocks' compressed L2 trace. *)
+
+val replay_lines : Sim.t -> int array -> dline:int -> unit
+(** Replay a compressed trace shifted by [dline] lines through the
+    shared L2, charging DRAM counters like the exact trace replay. Call
+    only from a launch epilogue on the main domain. *)

@@ -12,6 +12,9 @@ type t = {
   mutable blocks_in_flight : int;
   epoch : int Atomic.t;  (** bumped per launch; part of {!generation} *)
   blocks_memoized : int Atomic.t;  (** blocks retired by {!replay_stream} *)
+  blocks_analytic : int Atomic.t;
+      (** blocks retired by analytic class scaling, never instanced *)
+  tile_classes : int Atomic.t;  (** tile classes enumerated by analytic mode *)
 }
 
 and launch = {
@@ -38,6 +41,8 @@ let create (dev : Device.t) =
     blocks_in_flight = 0;
     epoch = Atomic.make 0;
     blocks_memoized = Atomic.make 0;
+    blocks_analytic = Atomic.make 0;
+    tile_classes = Atomic.make 0;
   }
 
 (* ---- parallel-execution shadows ---------------------------------------- *)
@@ -338,6 +343,8 @@ let bank_transactions dev addrs =
 let counters_of t =
   match shadow t with Some s -> s.sc | None -> t.total
 
+let live_counters = counters_of
+
 let shared_load_warp ?(replay = 1) ?tids t addrs =
   let n = active addrs in
   if n > 0 then begin
@@ -629,7 +636,7 @@ let run_blocks_parallel t pool ~name ~order ~f =
         Sanitize.absorb_block_reports
           (Array.map (function Some r -> r | None -> assert false) reports))
 
-let launch ?pool t ~name ~blocks ~threads ~shared_bytes ~f =
+let launch ?pool ?post t ~name ~blocks ~threads ~shared_bytes ~f =
   if threads > t.dev.max_threads_per_block then
     invalid_arg
       (Fmt.str "Sim.launch %s: %d threads exceed device limit %d" name threads
@@ -666,6 +673,12 @@ let launch ?pool t ~name ~blocks ~threads ~shared_bytes ~f =
           (scrambled blocks));
     if Sanitize.enabled () then Sanitize.launch_end ();
     t.blocks_in_flight <- 0;
+    (* launch epilogue: runs on the main domain (no shadow, counters go
+       straight to [t.total], memory events reach the real shared L2)
+       after every block has retired but before the launch delta is
+       captured — so analytically derived counters feed the same
+       roofline time model as instanced ones *)
+    (match post with None -> () | Some g -> g ());
     t.total.kernels <- t.total.kernels + 1;
     let delta = Counters.diff t.total before in
     delta.kernels <- 1;

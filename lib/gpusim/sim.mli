@@ -32,6 +32,13 @@ type t = {
   epoch : int Atomic.t;  (** bumped per launch; part of {!generation} *)
   blocks_memoized : int Atomic.t;
       (** blocks retired by {!replay_stream} instead of live execution *)
+  blocks_analytic : int Atomic.t;
+      (** blocks retired by analytic class scaling (counters derived from
+          a representative's delta × class population, functional state
+          from a compute-only tape replay) — never instanced *)
+  tile_classes : int Atomic.t;
+      (** tile classes enumerated by the analytic mode, summed over
+          launches *)
 }
 
 and launch = {
@@ -50,6 +57,7 @@ val create : Device.t -> t
 
 val launch :
   ?pool:Hextile_par.Par.pool ->
+  ?post:(unit -> unit) ->
   t ->
   name:string ->
   blocks:int ->
@@ -57,7 +65,14 @@ val launch :
   shared_bytes:int ->
   f:(int -> unit) ->
   unit
-(** Run a kernel: [f block_id] once per block (scrambled order). Raises
+(** Run a kernel: [f block_id] once per block (scrambled order). [post],
+    if given, runs on the main domain after every block has retired (and,
+    in a parallel run, after the chunk counters and L2 traces have been
+    absorbed) but before the launch's counter delta and roofline time are
+    captured: warp events and counter mutations made inside [post] reach
+    [t.total] and the shared L2 directly and are attributed to this
+    launch. The analytic tile-class mode uses it to add derived counters
+    so they feed the same launch-time model as instanced ones. Raises
     [Invalid_argument] if [threads] or [shared_bytes] exceed the device
     limits. When {!Sanitize.enabled}, the launch/block structure is
     reported to the sanitizer, which checks shared-memory races between
@@ -179,6 +194,17 @@ val replay_stream :
     [compute] translates the addresses itself and runs the statement's
     tape. Bumps [blocks_memoized] and the [sim.blocks_memoized] /
     [sim.addr_streams_replayed] Obs counters. *)
+
+val live_counters : t -> Counters.t
+(** The counter accumulator the calling domain is currently simulating
+    into: the parallel shadow's private counters inside a pooled
+    {!launch}, [t.total] otherwise. A block body can [Counters.copy] /
+    [Counters.diff] this around its own work to capture its exact
+    per-block delta (the shadow is only ever mutated by the owning
+    domain). Note the DRAM components of such a delta are
+    placement-dependent: sequential blocks charge the shared L2 inline
+    while pooled blocks defer it to trace replay — so per-block deltas
+    are jobs-invariant only outside [dram_read/write_transactions]. *)
 
 val generation : t -> int * int
 (** Identity of (launch, executing chunk): the launch epoch plus the

@@ -225,6 +225,8 @@ type result = {
   grids : (string, Grid.t) Hashtbl.t;
   blocks : int;
   blocks_memoized : int;
+  blocks_analytic : int;
+  classes : int;
 }
 
 let finish ctx ~scheme =
@@ -240,6 +242,8 @@ let finish ctx ~scheme =
     blocks =
       List.fold_left (fun a (l : Sim.launch) -> a + l.blocks) 0 ctx.sim.launches;
     blocks_memoized = Atomic.get ctx.sim.blocks_memoized;
+    blocks_analytic = Atomic.get ctx.sim.blocks_analytic;
+    classes = Atomic.get ctx.sim.tile_classes;
   }
 
 let total_time r = r.kernel_time +. r.transfer_time
@@ -387,6 +391,65 @@ let exec_tape_row ctx ~stmt_idx ~wflat ~src_flats ~n =
         ~by:(Tape.length tape * ((n + Tape.lanes - 1) / Tape.lanes))
         "sim.tape_instrs";
       ignore (Atomic.fetch_and_add ctx.updates n)
+
+(* Pre-resolved compute rows for the analytic mode's scaled blocks: the
+   per-row tape/grid/base lookups are paid once per tile class, so
+   replaying a member block is nothing but [Tape.exec] calls at a word
+   offset, one scratch fetch and one atomic per block. *)
+type crow = {
+  ctape : Tape.t;
+  cdatas : float array array;
+  cout : float array;
+  cwflat : int;
+  csrcs : int array;
+  cn : int;
+}
+
+type crows = {
+  crows : crow array;
+  cregs : int;  (** max register-file words across the rows *)
+  cpoints : int;  (** Σ n: statement instances per replay *)
+  cinstrs : int;  (** tape instructions per replay, for [sim.tape_instrs] *)
+}
+
+let compile_rows ctx rows =
+  let points = ref 0 and instrs = ref 0 and regs = ref 0 in
+  let crows =
+    List.rev_map
+      (fun (stmt_idx, wflat, srcs, n) ->
+        let c = compile_stmt ctx ctx.stmts.(stmt_idx) in
+        match c.tape with
+        | None -> invalid_arg "Common.compile_rows: statement has no tape"
+        | Some tape ->
+            points := !points + n;
+            instrs := !instrs + (Tape.length tape * ((n + Tape.lanes - 1) / Tape.lanes));
+            regs := max !regs (tape.nregs * Tape.lanes);
+            {
+              ctape = tape;
+              cdatas = c.tdatas;
+              cout = c.cwgrid.data;
+              cwflat = wflat;
+              csrcs = srcs;
+              cn = n;
+            })
+      (List.rev rows)
+  in
+  { crows = Array.of_list crows; cregs = !regs; cpoints = !points; cinstrs = !instrs }
+
+let exec_rows (ctx : ctx) { crows; cregs; cpoints; cinstrs } ~off =
+  let regs = get_scratch cregs in
+  Array.iter
+    (fun r ->
+      let i = ref 0 in
+      while !i < r.cn do
+        let nl = min Tape.lanes (r.cn - !i) in
+        Tape.exec r.ctape regs ~datas:r.cdatas ~bases:r.csrcs ~dx:(off + !i)
+          ~n:nl ~out:r.cout ~out_base:(r.cwflat + off + !i);
+        i := !i + nl
+      done)
+    crows;
+  Obs.incr ~by:cinstrs "sim.tape_instrs";
+  ignore (Atomic.fetch_and_add ctx.updates cpoints)
 
 let exec_stmt_row ctx ~stmt ~tstep ~point ~xs ?read_value ?write_value
     ?(count = true) ?loads_subset ~global_reads ~shared_replay

@@ -52,6 +52,14 @@ type result = {
   blocks_memoized : int;
       (** blocks retired by tile-class stream replay instead of live
           execution (hybrid scheme, [Tape] engine only) *)
+  blocks_analytic : int;
+      (** blocks retired by analytic class scaling (hybrid scheme,
+          [--analytic] mode only): counters derived from the class
+          representative's delta × population, grids from a compute-only
+          tape replay *)
+  classes : int;
+      (** tile classes enumerated by the analytic mode, summed over
+          launches (0 outside analytic mode) *)
 }
 
 val finish : ctx -> scheme:string -> result
@@ -161,6 +169,25 @@ val exec_tape_row :
     the instances toward [ctx.updates]. Raises [Invalid_argument] if the
     statement has no tape (recorded streams only contain [Compute]
     events for tape-executed rows, so replay never hits that case). *)
+
+type crows
+(** Pre-resolved compute rows of one tile class: the analytic mode
+    compiles a representative's recorded [Compute] events once and
+    replays every class member as pure [Tape.exec] calls at a word
+    offset (one scratch fetch and one updates-atomic per block). *)
+
+val compile_rows : ctx -> (int * int * int array * int) list -> crows
+(** [(stmt_idx, wflat, src_flats, n)] per row, in stream order. Takes
+    ownership of the [src_flats] arrays. Raises [Invalid_argument] if a
+    statement has no tape (recorded streams only contain [Compute]
+    events for tape-executed rows). *)
+
+val exec_rows : ctx -> crows -> off:int -> unit
+(** Run every row with [off] added to all flat word bases (write and
+    sources), counting the instances toward [ctx.updates] and
+    [sim.tape_instrs]. The caller guarantees the translated rows are in
+    bounds — true for class members, whose exact execution touches the
+    same cells. *)
 
 val snapshot : ctx -> (string, float array) Hashtbl.t
 val snapshot_read : (string, float array) Hashtbl.t -> Grid.t -> int -> float

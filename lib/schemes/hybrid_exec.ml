@@ -2,6 +2,9 @@ open Hextile_ir
 open Hextile_gpusim
 open Hextile_tiling
 open Hextile_util
+module Obs = Hextile_obs.Obs
+module Tl = Hextile_obs.Timeline
+module Par = Hextile_par.Par
 
 type reuse = No_reuse | Static | Dynamic
 
@@ -109,7 +112,7 @@ let memo_table (sim : Sim.t) =
       slot := Some { msim = sim; mgen = gen; mtbl = tbl };
       tbl
 
-let run ?pool ?engine ?(name = "hybrid") ?config prog env dev =
+let run ?pool ?engine ?(analytic = false) ?(name = "hybrid") ?config prog env dev =
   let ctx = Common.make_ctx ?engine prog env dev in
   let config = match config with Some c -> c | None -> default_config prog in
   let strat = config.strategy in
@@ -177,6 +180,22 @@ let run ?pool ?engine ?(name = "hybrid") ?config prog env dev =
     !r
   in
   let memo_ok = ctx.engine = Common.Tape && not (Sanitize.enabled ()) in
+  (* Analytic (hierarchical) mode additionally needs the class
+     translation to be a cache-bijection: one shared s0 stride across
+     every array region, moving same-class blocks by a whole number of
+     128 B lines. Then coalescing runs, the per-block L1's set mapping
+     and all shared-memory counts are translation-invariant, so a class
+     member's counter delta equals its representative's bit for bit and
+     population scaling is exact (see Gpusim.Analytic). When the
+     condition fails — 1D programs (stride 1) or extents not divisible
+     by 32 — the run silently degrades to the exact per-block memo
+     path. *)
+  let uniform_stride =
+    Array.length stride0s > 0
+    && Array.for_all (fun s -> s = stride0s.(0)) stride0s
+    && 4 * stride0s.(0) mod dev.Device.line_bytes = 0
+  in
+  let analytic_on = analytic && memo_ok && uniform_stride in
   let stmts = ctx.stmts in
   (* register tiling: reads whose cell was read (or produced) by the
      previous unrolled iteration along the sweep direction stay in
@@ -426,6 +445,64 @@ let run ?pool ?engine ?(name = "hybrid") ?config prog env dev =
     done;
     key
   in
+  (* Closed-form self-check of an interior class against its recorded
+     stream: the tile model's per-class counts must match the instanced
+     representative exactly — Σ [Compute] lanes = Σ per live row of
+     (unclipped s0 length × inner-domain coverage), and [Sync] events =
+     copy-in barriers (one per classical tile) + steps whose windows are
+     non-empty. A mismatch means the class decomposition the scaling
+     rests on is wrong, so fail loudly rather than degrade. *)
+  let check_interior_class ~lname ~(key : int array) ~stream =
+    let cu0 = key.(0) in
+    let tuples = ref 1 in
+    for i = 0 to dims - 2 do
+      let lo, hi =
+        Classical.tile_range t.classical.(i) ~u_max:(height - 1)
+          ~lo:glo.(i + 1) ~hi:ghi.(i + 1)
+      in
+      tuples := !tuples * (hi - lo + 1)
+    done;
+    let exp_points = ref 0 and exp_steps = ref 0 in
+    for a = 0 to height - 1 do
+      if key.(1 + (2 * a)) >= 0 then begin
+        let u = cu0 + a in
+        let si = Hybrid.stmt_of_u t u in
+        let slo = ctx.lo.(si) and shi = ctx.hi.(si) in
+        match Hexagon.row_range t.hex ~a with
+        | None -> ()
+        | Some (rb_lo, rb_hi) ->
+            let len = rb_hi - rb_lo + 1 in
+            let inner = ref 1 and steps = ref 1 in
+            for i = 0 to dims - 2 do
+              inner :=
+                !inner * Tile_model.coverage ~lo:slo.(i + 1) ~hi:shi.(i + 1);
+              steps :=
+                !steps
+                * Tile_model.tiles_nonempty t.classical.(i) ~u:a ~lo:slo.(i + 1)
+                    ~hi:shi.(i + 1)
+            done;
+            exp_points := !exp_points + (len * !inner);
+            exp_steps := !exp_steps + !steps
+      end
+    done;
+    let exp_syncs = (if strat.use_shared then !tuples else 0) + !exp_steps in
+    let points = ref 0 and syncs = ref 0 in
+    Tileclass.iter stream ~f:(function
+      | Tileclass.Compute { n; _ } -> points := !points + n
+      | Tileclass.Sync -> incr syncs
+      | _ -> ());
+    if !points <> !exp_points then
+      failwith
+        (Fmt.str
+           "%s: analytic class model mismatch: %d compute lanes recorded, %d \
+            expected"
+           lname !points !exp_points);
+    if !syncs <> exp_syncs then
+      failwith
+        (Fmt.str
+           "%s: analytic class model mismatch: %d syncs recorded, %d expected"
+           lname !syncs exp_syncs)
+  in
   (* host loop: time tiles x phases *)
   let launch_phase ~tt ~phase =
     (* does any u of this phase's tiles fall in the domain? *)
@@ -435,71 +512,220 @@ let run ?pool ?engine ?(name = "hybrid") ?config prog env dev =
       (* S0 is monotone in s0: *)
       let s0_lo = s_of glo.(0) and s0_hi = s_of ghi.(0) in
       let blocks = s0_hi - s0_lo + 1 in
-      if blocks > 0 then
-        Sim.launch ?pool ctx.sim
-          ~name:(Fmt.str "%s_T%d_p%d" name tt phase)
-          ~blocks ~threads:config.threads ~shared_bytes:0
-          ~f:(fun b ->
-            let s_tile = s0_lo + b in
-            let u0, s00 = Hex_schedule.tile_origin t.hs ~phase ~tt ~s_tile in
-            let exec_block () =
-              (* classical tile ranges *)
-              let ranges =
-                Array.init (dims - 1) (fun i ->
-                    Classical.tile_range t.classical.(i) ~u_max:(height - 1)
-                      ~lo:glo.(i + 1) ~hi:ghi.(i + 1))
-              in
-              let cls = Array.map fst ranges in
-              let prev = ref None in
-              let rec loop d =
-                if d = dims - 1 then begin
-                  let lay = process_tile ~u0 ~s00 ~cls ~prev:!prev in
-                  prev := Some lay
-                end
-                else begin
-                  let lo, hi = ranges.(d) in
-                  for v = lo to hi do
-                    cls.(d) <- v;
-                    if d = dims - 2 && v = lo then prev := None;
-                    loop (d + 1)
-                  done
-                end
-              in
-              if dims = 1 then ignore (process_tile ~u0 ~s00 ~cls ~prev:None)
-              else loop 0
-            in
-            if not memo_ok then exec_block ()
+      if blocks > 0 then begin
+        let lname = Fmt.str "%s_T%d_p%d" name tt phase in
+        let origin_of b =
+          Hex_schedule.tile_origin t.hs ~phase ~tt ~s_tile:(s0_lo + b)
+        in
+        let exec_block ~u0 ~s00 =
+          (* classical tile ranges *)
+          let ranges =
+            Array.init (dims - 1) (fun i ->
+                Classical.tile_range t.classical.(i) ~u_max:(height - 1)
+                  ~lo:glo.(i + 1) ~hi:ghi.(i + 1))
+          in
+          let cls = Array.map fst ranges in
+          let prev = ref None in
+          let rec loop d =
+            if d = dims - 1 then begin
+              let lay = process_tile ~u0 ~s00 ~cls ~prev:!prev in
+              prev := Some lay
+            end
             else begin
-              let key = class_key ~u0 ~s00 in
-              let tbl = memo_table ctx.sim in
-              match Hashtbl.find_opt tbl key with
-              | Some (rep_s00, stream) ->
-                  let ds = s00 - rep_s00 in
-                  let deltas = Array.map (fun st -> 4 * ds * st) stride0s in
-                  Sim.replay_stream ctx.sim stream ~deltas
-                    ~compute:(fun ~stmt ~tstep:_ ~wregion ~waddr ~sregions ~srcs ~n ->
-                      let wflat =
-                        (waddr + deltas.(wregion) - rbases.(wregion)) / 4
-                      in
-                      let src_flats =
-                        Array.init (Array.length srcs) (fun i ->
-                            (srcs.(i) + deltas.(sregions.(i))
-                            - rbases.(sregions.(i)))
-                            / 4)
-                      in
-                      Common.exec_tape_row ctx ~stmt_idx:stmt ~wflat ~src_flats
-                        ~n)
-              | None -> (
-                  Sim.record_begin ctx.sim ~region_of;
-                  match exec_block () with
-                  | () -> (
-                      match Sim.record_end ctx.sim with
-                      | Some stream -> Hashtbl.replace tbl key (s00, stream)
-                      | None -> ())
-                  | exception e ->
-                      ignore (Sim.record_end ctx.sim);
-                      raise e)
-            end)
+              let lo, hi = ranges.(d) in
+              for v = lo to hi do
+                cls.(d) <- v;
+                if d = dims - 2 && v = lo then prev := None;
+                loop (d + 1)
+              done
+            end
+          in
+          if dims = 1 then ignore (process_tile ~u0 ~s00 ~cls ~prev:None)
+          else loop 0
+        in
+        if analytic_on then begin
+          (* ---- analytic (hierarchical) launch --------------------------
+             Enumerate every block's class up front without executing
+             anything; instance one representative per interior class
+             plus every boundary-clipped block; derive the rest in the
+             launch epilogue (counters by population scaling, DRAM by
+             compressed-trace replay, grids by compute-only tape
+             replay). The live set is fixed before the launch, so it —
+             and everything derived from it — is identical at every
+             --jobs value. *)
+          let keytbl : (int array, int) Hashtbl.t = Hashtbl.create 16 in
+          let nclasses = ref 0 in
+          let rkeys = ref [] and rreps = ref [] in
+          let role = Array.make blocks (-1) in
+          for b = 0 to blocks - 1 do
+            let u0b, s00 = origin_of b in
+            let key = class_key ~u0:u0b ~s00 in
+            match Hashtbl.find_opt keytbl key with
+            | Some cid -> role.(b) <- cid
+            | None ->
+                let cid = !nclasses in
+                incr nclasses;
+                Hashtbl.add keytbl key cid;
+                rkeys := key :: !rkeys;
+                rreps := b :: !rreps;
+                role.(b) <- cid
+          done;
+          let nclasses = !nclasses in
+          let ckey = Array.of_list (List.rev !rkeys) in
+          let crep = Array.of_list (List.rev !rreps) in
+          let members = Array.make nclasses [] in
+          for b = blocks - 1 downto 0 do
+            if crep.(role.(b)) <> b then
+              members.(role.(b)) <- b :: members.(role.(b))
+          done;
+          (* a class is scaled when it is interior (no s0 clipping
+             anywhere) and has members beyond its representative *)
+          let scaled =
+            Array.init nclasses (fun cid ->
+                members.(cid) <> []
+                &&
+                let key = ckey.(cid) in
+                let ok = ref true in
+                for i = 1 to Array.length key - 1 do
+                  if key.(i) > 0 then ok := false
+                done;
+                !ok)
+          in
+          let rep_stream = Array.make nclasses None in
+          let rep_delta = Array.make nclasses None in
+          let post () =
+            ignore (Atomic.fetch_and_add ctx.sim.tile_classes nclasses);
+            Obs.incr ~by:nclasses "sim.tile_classes";
+            for cid = 0 to nclasses - 1 do
+              if scaled.(cid) then begin
+                let mems = members.(cid) in
+                let _, rep_s00 = origin_of crep.(cid) in
+                match (rep_stream.(cid), rep_delta.(cid)) with
+                | Some stream, Some delta ->
+                    check_interior_class ~lname ~key:ckey.(cid) ~stream;
+                    let m = List.length mems in
+                    Analytic.scale_into ctx.sim.total ~delta ~times:m;
+                    (* DRAM: replay each member's compressed (distinct
+                       first-touch lines) trace through the shared L2,
+                       in class order then ascending block id *)
+                    Tl.begin_ ~arg:(float_of_int m) "sim.analytic_dram";
+                    let lines =
+                      Analytic.lines_of_stream stream
+                        ~line_bytes:dev.Device.line_bytes
+                    in
+                    List.iter
+                      (fun b ->
+                        let _, s00 = origin_of b in
+                        let ds = s00 - rep_s00 in
+                        Analytic.replay_lines ctx.sim lines
+                          ~dline:(ds * stride0s.(0) * 4 / dev.Device.line_bytes))
+                      mems;
+                    Tl.end_ ();
+                    (* grids: compute-only tape replay of the recorded
+                       rows at each member's word offset — member blocks
+                       of one launch write disjoint cells, so the replay
+                       can fan out over the pool *)
+                    let rows = ref [] in
+                    Tileclass.iter stream ~f:(function
+                      | Tileclass.Compute
+                          { stmt; wregion; waddr; sregions; srcs; n; _ } ->
+                          let wflat = (waddr - rbases.(wregion)) / 4 in
+                          let sf =
+                            Array.mapi
+                              (fun i s -> (s - rbases.(sregions.(i))) / 4)
+                              srcs
+                          in
+                          rows := (stmt, wflat, sf, n) :: !rows
+                      | _ -> ());
+                    let crows = Common.compile_rows ctx (List.rev !rows) in
+                    let marr = Array.of_list mems in
+                    let run_member b =
+                      let _, s00 = origin_of b in
+                      Common.exec_rows ctx crows
+                        ~off:((s00 - rep_s00) * stride0s.(0))
+                    in
+                    Tl.begin_ ~arg:(float_of_int m) "sim.analytic_grids";
+                    (match pool with
+                    | Some p when Par.jobs p > 1 && Array.length marr > 1 ->
+                        Par.iter p run_member marr
+                    | _ -> Array.iter run_member marr);
+                    Tl.end_ ();
+                    ignore (Atomic.fetch_and_add ctx.sim.blocks_analytic m);
+                    Obs.incr ~by:m "sim.blocks_analytic"
+                | _ ->
+                    (* the representative's recording was invalidated (a
+                       per-lane fallback row): run the members live in
+                       the epilogue — exact, just not scaled *)
+                    List.iter
+                      (fun b ->
+                        let u0b, s00 = origin_of b in
+                        L2.reset ctx.sim.l1;
+                        exec_block ~u0:u0b ~s00)
+                      mems
+              end
+            done
+          in
+          Sim.launch ?pool ~post ctx.sim ~name:lname ~blocks
+            ~threads:config.threads ~shared_bytes:0
+            ~f:(fun b ->
+              let u0b, s00 = origin_of b in
+              let cid = role.(b) in
+              if not scaled.(cid) then exec_block ~u0:u0b ~s00
+              else if crep.(cid) = b then begin
+                (* representative: record the stream and capture the
+                   block's exact counter delta (the active accumulator is
+                   only mutated by this domain) *)
+                let before = Counters.copy (Sim.live_counters ctx.sim) in
+                Sim.record_begin ctx.sim ~region_of;
+                (match exec_block ~u0:u0b ~s00 with
+                | () -> rep_stream.(cid) <- Sim.record_end ctx.sim
+                | exception e ->
+                    ignore (Sim.record_end ctx.sim);
+                    raise e);
+                rep_delta.(cid) <-
+                  Some (Counters.diff (Sim.live_counters ctx.sim) before)
+              end
+              (* else: scaled member — derived in the epilogue *))
+        end
+        else
+          Sim.launch ?pool ctx.sim ~name:lname ~blocks ~threads:config.threads
+            ~shared_bytes:0
+            ~f:(fun b ->
+              let u0, s00 = origin_of b in
+              if not memo_ok then exec_block ~u0 ~s00
+              else begin
+                let key = class_key ~u0 ~s00 in
+                let tbl = memo_table ctx.sim in
+                match Hashtbl.find_opt tbl key with
+                | Some (rep_s00, stream) ->
+                    let ds = s00 - rep_s00 in
+                    let deltas = Array.map (fun st -> 4 * ds * st) stride0s in
+                    Sim.replay_stream ctx.sim stream ~deltas
+                      ~compute:(fun
+                          ~stmt ~tstep:_ ~wregion ~waddr ~sregions ~srcs ~n ->
+                        let wflat =
+                          (waddr + deltas.(wregion) - rbases.(wregion)) / 4
+                        in
+                        let src_flats =
+                          Array.init (Array.length srcs) (fun i ->
+                              (srcs.(i) + deltas.(sregions.(i))
+                              - rbases.(sregions.(i)))
+                              / 4)
+                        in
+                        Common.exec_tape_row ctx ~stmt_idx:stmt ~wflat
+                          ~src_flats ~n)
+                | None -> (
+                    Sim.record_begin ctx.sim ~region_of;
+                    match exec_block ~u0 ~s00 with
+                    | () -> (
+                        match Sim.record_end ctx.sim with
+                        | Some stream -> Hashtbl.replace tbl key (s00, stream)
+                        | None -> ())
+                    | exception e ->
+                        ignore (Sim.record_end ctx.sim);
+                        raise e)
+              end)
+      end
     end
   in
   (* T bounds covering every u in [0, ubound) for both phases *)

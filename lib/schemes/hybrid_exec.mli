@@ -58,6 +58,7 @@ val default_config : Stencil.t -> config
 val run :
   ?pool:Hextile_par.Par.pool ->
   ?engine:Common.engine ->
+  ?analytic:bool ->
   ?name:string ->
   ?config:config ->
   Stencil.t ->
@@ -65,4 +66,21 @@ val run :
   Device.t ->
   Common.result
 (** [pool] parallelizes each launch's blocks across the pool's domains
-    (bit-identical results for any jobs value; see {!Sim.launch}). *)
+    (bit-identical results for any jobs value; see {!Sim.launch}).
+
+    [analytic] (default [false]) enables the hierarchical simulation
+    mode: each launch instance-executes exactly one representative block
+    per interior tile class, derives every other interior block's
+    counters by population scaling ({!Hextile_gpusim.Analytic}), models
+    their DRAM traffic by compressed-trace L2 replay, and reproduces
+    their grid writes with a compute-only tape replay — falling back to
+    full instance execution for boundary-clipped classes. Counters are
+    bit-identical to the exact simulator except the two DRAM fields,
+    whose relative error is bounded by
+    {!Hextile_gpusim.Analytic.dram_error_bound}. The mode silently
+    degrades to the exact memoized path when the program's regions do
+    not share a single line-aligned s0 stride (the condition under which
+    class translation is a cache bijection), or when the [Ref] engine or
+    the sanitizer is active; [Common.result.blocks_analytic] reports how
+    many blocks were scaled. Results remain bit-identical across
+    [--jobs] values. *)

@@ -1,0 +1,161 @@
+(* Differential validation of the analytic (hierarchical) simulation
+   mode against the exact engine: on the scaled Table 3 suite and on
+   fuzzed programs, [Hybrid_exec.run ~analytic:true] must reproduce the
+   exact run's grids and every counter bit for bit — except the two
+   DRAM fields, which come from the compressed-trace L2 model and must
+   stay within [Analytic.dram_error_bound] (the bound itself is
+   asserted, not just logged). When the mode's preconditions fail (no
+   single line-aligned s0 stride, e.g. N=48 in 2D or any 1D program),
+   it must degrade to the exact path: everything bit-equal, zero
+   analytic blocks. *)
+
+open Hextile_gpusim
+module Grid = Hextile_ir.Grid
+module Common = Hextile_schemes.Common
+module Hybrid_exec = Hextile_schemes.Hybrid_exec
+module Suite = Hextile_stencils.Suite
+module E = Hextile_experiments.Experiments
+module Check = Hextile_check
+
+let dev = Device.gtx470
+
+let dram_keys = [ "dram_read_transactions"; "dram_write_transactions" ]
+let is_dram k = List.mem k dram_keys
+
+let grids_sig (r : Common.result) =
+  Hashtbl.fold
+    (fun name (g : Grid.t) acc ->
+      (name, Array.map Int64.bits_of_float g.Grid.data) :: acc)
+    r.grids []
+  |> List.sort compare
+
+(* Exact-vs-analytic comparison of one hybrid run. [expect_scaled]
+   asserts that the analytic mode actually scaled blocks (rather than
+   silently degrading); [Some false] asserts the degradation — in which
+   case the whole result, DRAM included, must be bit-equal. *)
+let check_pair ~label ?(expect_scaled = None) prog env devi =
+  let e x = List.assoc x env in
+  let exact = Hybrid_exec.run prog e devi in
+  let analytic = Hybrid_exec.run ~analytic:true prog e devi in
+  if grids_sig exact <> grids_sig analytic then
+    Alcotest.failf "%s: grids differ between exact and analytic" label;
+  Alcotest.(check int) (label ^ ": updates") exact.updates analytic.updates;
+  Alcotest.(check int) (label ^ ": blocks") exact.blocks analytic.blocks;
+  let ce = Counters.to_assoc exact.counters
+  and ca = Counters.to_assoc analytic.counters in
+  List.iter2
+    (fun (k, ve) (k', va) ->
+      assert (k = k');
+      if not (is_dram k) then
+        Alcotest.(check int) (Fmt.str "%s: %s" label k) ve va
+      else begin
+        let err =
+          float_of_int (abs (va - ve)) /. float_of_int (max 1 ve)
+        in
+        if err > Analytic.dram_error_bound then
+          Alcotest.failf "%s: %s relative error %.4f exceeds bound %.4f"
+            label k err Analytic.dram_error_bound;
+        (* a degraded run took the exact code path: no error at all *)
+        if analytic.classes = 0 then
+          Alcotest.(check int) (Fmt.str "%s: %s (degraded)" label k) ve va
+      end)
+    ce ca;
+  (match expect_scaled with
+  | Some true ->
+      Alcotest.(check bool)
+        (label ^ ": blocks were scaled analytically")
+        true
+        (analytic.blocks_analytic > 0 && analytic.classes > 0)
+  | Some false ->
+      Alcotest.(check int) (label ^ ": no analytic blocks") 0
+        analytic.blocks_analytic;
+      Alcotest.(check int) (label ^ ": no classes") 0 analytic.classes
+  | None -> ());
+  analytic
+
+(* The bound is part of the module's documented contract: a silent
+   loosening would weaken every assertion above, so pin its value. *)
+let test_bound_value () =
+  Alcotest.(check (float 1e-12)) "dram_error_bound" 0.5 Analytic.dram_error_bound
+
+let test_table3_scaled () =
+  List.iter
+    (fun (prog : Hextile_ir.Stencil.t) ->
+      let env = E.sizes ~quick:true prog in
+      ignore
+        (check_pair ~label:prog.name ~expect_scaled:(Some true) prog env dev))
+    Suite.table3
+
+(* N=48 in 2D: 4·stride0 = 192 is not a whole number of 128-byte lines,
+   so class translation is not a cache bijection and the mode must
+   degrade to the exact path. Same for 1D (stride0 = 1). *)
+let test_fallback_exact () =
+  ignore
+    (check_pair ~label:"heat2d/N48" ~expect_scaled:(Some false) Suite.heat2d
+       [ ("N", 48); ("T", 8) ]
+       dev);
+  ignore
+    (check_pair ~label:"heat1d" ~expect_scaled:(Some false) Suite.heat1d
+       [ ("N", 512); ("T", 16) ]
+       dev)
+
+(* Analytic runs skip the reference interpreter at full size; at test
+   size, close the loop: the analytic grids must equal the reference. *)
+let test_analytic_vs_reference () =
+  let prog = Suite.laplacian2d in
+  let env = E.sizes ~quick:true prog in
+  let e x = List.assoc x env in
+  let r = Hybrid_exec.run ~analytic:true prog e dev in
+  Alcotest.(check bool) "scaled" true (r.blocks_analytic > 0);
+  let reference = Hextile_ir.Interp.run prog e in
+  Hashtbl.iter
+    (fun name g ->
+      Alcotest.(check bool)
+        (Fmt.str "array %s equals reference" name)
+        true
+        (Grid.equal g (Grid.find reference name)))
+    r.grids
+
+let test_fuzzed_programs () =
+  let rng = Check.Rng.create 318 in
+  let scaled = ref 0 in
+  for i = 0 to 7 do
+    let prog, env = Check.Gen.generate (Check.Rng.derive rng i) in
+    (* the generator's own sizes (small, line-unaligned: these exercise
+       the degradation and boundary paths) ... *)
+    let r =
+      check_pair ~label:(Fmt.str "fuzz#%d(%s)" i prog.name) prog env dev
+    in
+    if r.blocks_analytic > 0 then incr scaled;
+    (* ... and a line-aligned N (4·stride0 a whole number of 128-byte
+       lines), which is what lets fuzzed program *shapes* reach the
+       scaling path at all *)
+    let n_aligned =
+      match Hextile_ir.Stencil.spatial_dims prog with
+      | 1 -> 32 (* stride0 = 1: still degrades, by design *)
+      | 2 -> 32
+      | _ -> 8 (* stride0 = 64 *)
+    in
+    let env' = ("N", n_aligned) :: List.remove_assoc "N" env in
+    let r' =
+      check_pair ~label:(Fmt.str "fuzz#%d(%s)/aligned" i prog.name) prog env'
+        dev
+    in
+    if r'.blocks_analytic > 0 then incr scaled
+  done;
+  (* the campaign must actually exercise the scaling path, not just
+     degraded runs *)
+  Alcotest.(check bool) "some fuzzed runs scaled" true (!scaled > 0)
+
+let suite =
+  [
+    Alcotest.test_case "dram error bound value" `Quick test_bound_value;
+    Alcotest.test_case "table3: analytic = exact (scaled sizes)" `Slow
+      test_table3_scaled;
+    Alcotest.test_case "preconditions fail => exact path" `Quick
+      test_fallback_exact;
+    Alcotest.test_case "analytic grids = reference interpreter" `Quick
+      test_analytic_vs_reference;
+    Alcotest.test_case "fuzzed programs: analytic = exact" `Slow
+      test_fuzzed_programs;
+  ]

@@ -59,6 +59,58 @@ let test_figures_nonempty () =
       ("tilesize", E.tile_size_sweep_text);
     ]
 
+(* The stderr summary contract gained blocks_analytic and classes: both
+   always present (in order, after the original five keys), echoing the
+   result's fields — 0 outside analytic mode, the class tallies in it. *)
+let test_sim_summary_analytic_keys () =
+  let parse line =
+    match String.split_on_char ' ' line with
+    | "sim:" :: tokens ->
+        List.map
+          (fun tok ->
+            match String.index_opt tok '=' with
+            | Some i ->
+                ( String.sub tok 0 i,
+                  String.sub tok (i + 1) (String.length tok - i - 1) )
+            | None -> Alcotest.failf "token %S is not key=value" tok)
+          tokens
+    | _ -> Alcotest.failf "summary %S does not start with \"sim:\"" line
+  in
+  let summary r =
+    parse
+      (E.sim_summary ~wall_s:0.5 ~jobs:1 ~engine:Hextile_schemes.Common.Tape r)
+  in
+  let env = [ ("N", 128); ("T", 24) ] in
+  let exact = E.run_scheme E.Hybrid Suite.laplacian2d env Device.gtx470 in
+  let kvs = summary exact in
+  Alcotest.(check (list string))
+    "keys in contract order"
+    [
+      "wall_ms"; "blocks"; "blocks_memoized"; "engine"; "jobs";
+      "blocks_analytic"; "classes";
+    ]
+    (List.map fst kvs);
+  Alcotest.(check (option string)) "exact run: blocks_analytic=0" (Some "0")
+    (List.assoc_opt "blocks_analytic" kvs);
+  Alcotest.(check (option string)) "exact run: classes=0" (Some "0")
+    (List.assoc_opt "classes" kvs);
+  let analytic =
+    E.run_scheme ~analytic:true ~verify:false E.Hybrid Suite.laplacian2d env
+      Device.gtx470
+  in
+  let kvs = summary analytic in
+  Alcotest.(check (option string))
+    "analytic run: blocks_analytic echoed"
+    (Some (string_of_int analytic.Hextile_schemes.Common.blocks_analytic))
+    (List.assoc_opt "blocks_analytic" kvs);
+  Alcotest.(check (option string))
+    "analytic run: classes echoed"
+    (Some (string_of_int analytic.Hextile_schemes.Common.classes))
+    (List.assoc_opt "classes" kvs);
+  Alcotest.(check bool)
+    "analytic run scaled blocks" true
+    (analytic.Hextile_schemes.Common.blocks_analytic > 0)
+
 let test_verification_catches_corruption () =
   let prog = Suite.heat2d in
   let r = E.run_scheme E.Ppcg prog tiny2 Device.gtx470 in
@@ -76,6 +128,8 @@ let suite =
     Alcotest.test_case "run_scheme verifies all schemes" `Slow test_run_scheme_verifies;
     Alcotest.test_case "paper reference tables complete" `Quick test_paper_tables_complete;
     Alcotest.test_case "figure texts render" `Quick test_figures_nonempty;
+    Alcotest.test_case "sim summary: analytic contract keys" `Quick
+      test_sim_summary_analytic_keys;
     Alcotest.test_case "verification catches corruption" `Quick
       test_verification_catches_corruption;
   ]

@@ -14,6 +14,7 @@ let () =
       ("par", Test_par.suite);
       ("codegen", Test_codegen.suite);
       ("experiments", Test_experiments.suite);
+      ("analytic", Test_analytic.suite);
       ("obs", Test_obs.suite);
       ("timeline", Test_timeline.suite);
     ]

@@ -238,6 +238,39 @@ let test_scheme_determinism () =
       (Check.Oracle.scheme_names prog)
   done
 
+(* ---- determinism: analytic mode --------------------------------------- *)
+
+(* The analytic (hierarchical) hybrid mode precomputes its class
+   decomposition before each launch and derives scaled blocks in the
+   launch epilogue on the main domain, so its whole result — including
+   the modelled DRAM counters and the blocks_analytic/classes tallies —
+   must be bit-identical at every jobs value, like the exact engine. *)
+let test_analytic_determinism () =
+  List.iter
+    (fun (prog, env) ->
+      let e x = List.assoc x env in
+      let run jobs =
+        Par.with_pool ~jobs (fun pool ->
+            let r =
+              Hextile_schemes.Hybrid_exec.run ~pool ~analytic:true prog e dev
+            in
+            (result_sig r, r.blocks_analytic, r.classes))
+      in
+      let ((_, b, c) as base) = run 1 in
+      Alcotest.(check bool)
+        (prog.Hextile_ir.Stencil.name ^ ": scaling exercised")
+        true (b > 0 && c > 0);
+      List.iter
+        (fun jobs ->
+          if run jobs <> base then
+            Alcotest.failf "analytic %s differs at jobs=%d"
+              prog.Hextile_ir.Stencil.name jobs)
+        jobs_values)
+    [
+      (Suite.laplacian2d, [ ("N", 128); ("T", 24) ]);
+      (Suite.heat3d, [ ("N", 64); ("T", 12) ]);
+    ]
+
 (* ---- determinism: tile-size selection --------------------------------- *)
 
 let test_tilesize_determinism () =
@@ -361,6 +394,8 @@ let suite =
       test_sanitizer_parallel_parity;
     Alcotest.test_case "schemes: deterministic at jobs 1/2/4" `Slow
       test_scheme_determinism;
+    Alcotest.test_case "analytic mode: deterministic at jobs 1/2/4" `Slow
+      test_analytic_determinism;
     Alcotest.test_case "tile-size: deterministic at jobs 1/2/4" `Quick
       test_tilesize_determinism;
     Alcotest.test_case "fuzz: deterministic at jobs 1/2/4" `Slow
