@@ -70,25 +70,17 @@ let analyze_uncached (p : Stencil.t) =
   List.sort_uniq compare !deps
 
 (* The analysis is a pure function of the program and is re-requested
-   for every tile-size candidate and scheme run; memoize it per domain
-   (no locking needed under the parallel runtime) keyed structurally by
-   the program. Only successful analyses are cached, so validation
-   errors keep raising. *)
-let memo_max = 32
+   for every tile-size candidate and scheme run; memoize it in a
+   process-shared publish-once table keyed structurally by the program,
+   so concurrent tile-size searches and scheme runs on different domains
+   analyze each program once between them instead of once per domain.
+   Only successful analyses are published, so validation errors keep
+   raising. *)
+module Oncemap = Hextile_par.Oncemap
 
-let memo_key :
-    (Stencil.t, t list) Hashtbl.t Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> Hashtbl.create 8)
+let memo : (Stencil.t, t list) Oncemap.t = Oncemap.create ~bits:8 ()
 
-let analyze (p : Stencil.t) =
-  let tbl = Domain.DLS.get memo_key in
-  match Hashtbl.find_opt tbl p with
-  | Some deps -> deps
-  | None ->
-      let deps = analyze_uncached p in
-      if Hashtbl.length tbl >= memo_max then Hashtbl.reset tbl;
-      Hashtbl.replace tbl p deps;
-      deps
+let analyze (p : Stencil.t) = Oncemap.find_or_compute memo p (fun () -> analyze_uncached p)
 
 let distance_vectors deps = List.sort_uniq compare (List.map (fun d -> d.dist) deps)
 

@@ -160,10 +160,15 @@ let table12 ?pool ?(quick = true) dev =
   Obs.annot "device" (Obs.Str dev.Device.name);
   match pool with
   | Some p when Par.jobs p > 1 && not (Par.in_region ()) ->
-      (* Fan out over the (kernel, scheme) pairs — 7 × 4 independent
-         simulated runs — then regroup by kernel. Inner launches stay
-         sequential (nested regions degrade), so results are the
-         sequential ones, cell for cell. *)
+      (* Shard at the experiment level: fan out over the (kernel,
+         scheme) pairs — 7 × 4 independent simulated runs — then
+         regroup by kernel. [Par.map]'s static shards give each domain
+         a contiguous run of pairs (stealing evens out the imbalance
+         between cheap and expensive kernels), and each run reuses the
+         process-shared dependence/FM caches instead of refilling a
+         per-domain copy. Inner launches stay sequential (nested
+         regions degrade), so results are the sequential ones, cell for
+         cell. *)
       let pairs =
         Array.of_list
           (List.concat_map

@@ -19,45 +19,64 @@ let create ~bytes ~assoc ~line_bytes =
     dirty = Array.make_matrix sets assoc false;
   }
 
-let access t ~addr ~write =
+(* The simulator calls this once per memory transaction, so the hot form
+   returns the outcome as a bit pair ([hit_bit] lor [writeback_bit])
+   instead of a freshly allocated record — the encode path's
+   allocation-free guarantee depends on it. *)
+let hit_bit = 1
+let writeback_bit = 2
+
+(* top-level (closure-free) way lookup: a local [let rec] would capture
+   [set]/[tag] and allocate a closure on every probe *)
+let rec find_way set tag assoc i =
+  if i >= assoc then -1
+  else if Array.unsafe_get set i = tag then i
+  else find_way set tag assoc (i + 1)
+
+let access_code t ~addr ~write =
   let line = addr / t.line_bytes in
   let si = line mod t.sets in
   let set = t.tags.(si) and dirty = t.dirty.(si) in
   let tag = line / t.sets in
-  let rec find i =
-    if i >= t.assoc then None else if set.(i) = tag then Some i else find (i + 1)
-  in
-  match find 0 with
-  | Some i ->
-      let d = dirty.(i) in
-      for j = i downto 1 do
-        set.(j) <- set.(j - 1);
-        dirty.(j) <- dirty.(j - 1)
-      done;
-      set.(0) <- tag;
-      dirty.(0) <- d || write;
-      { hit = true; writeback = false }
-  | None ->
-      let victim_dirty = set.(t.assoc - 1) >= 0 && dirty.(t.assoc - 1) in
-      for j = t.assoc - 1 downto 1 do
-        set.(j) <- set.(j - 1);
-        dirty.(j) <- dirty.(j - 1)
-      done;
-      set.(0) <- tag;
-      dirty.(0) <- write;
-      { hit = false; writeback = victim_dirty }
+  let i = find_way set tag t.assoc 0 in
+  if i >= 0 then begin
+    let d = dirty.(i) in
+    for j = i downto 1 do
+      set.(j) <- set.(j - 1);
+      dirty.(j) <- dirty.(j - 1)
+    done;
+    set.(0) <- tag;
+    dirty.(0) <- d || write;
+    hit_bit
+  end
+  else begin
+    let victim_dirty = set.(t.assoc - 1) >= 0 && dirty.(t.assoc - 1) in
+    for j = t.assoc - 1 downto 1 do
+      set.(j) <- set.(j - 1);
+      dirty.(j) <- dirty.(j - 1)
+    done;
+    set.(0) <- tag;
+    dirty.(0) <- write;
+    if victim_dirty then writeback_bit else 0
+  end
 
+let access t ~addr ~write =
+  let c = access_code t ~addr ~write in
+  { hit = c land hit_bit <> 0; writeback = c land writeback_bit <> 0 }
+
+(* plain nested loops: the simulator resets a (small) per-block L1
+   through here once per block, so closure-per-set iteration would put
+   hundreds of words of garbage on every block boundary *)
 let flush t =
   let n = ref 0 in
-  Array.iteri
-    (fun si set ->
-      Array.iteri
-        (fun i tag ->
-          if tag >= 0 && t.dirty.(si).(i) then incr n;
-          set.(i) <- -1;
-          t.dirty.(si).(i) <- false)
-        set)
-    t.tags;
+  for si = 0 to t.sets - 1 do
+    let set = t.tags.(si) and dirty = t.dirty.(si) in
+    for i = 0 to t.assoc - 1 do
+      if set.(i) >= 0 && dirty.(i) then incr n;
+      set.(i) <- -1;
+      dirty.(i) <- false
+    done
+  done;
   !n
 
 let reset t = ignore (flush t)

@@ -13,6 +13,14 @@ val access : t -> addr:int -> write:bool -> outcome
 (** Touch the line containing byte [addr]. [writeback] reports that the
     victim line was dirty (one DRAM write transaction). *)
 
+val hit_bit : int
+val writeback_bit : int
+
+val access_code : t -> addr:int -> write:bool -> int
+(** [access] without the record: the outcome as
+    [hit_bit lor writeback_bit] bits. The simulator's per-transaction
+    hot paths use this form so a cache probe allocates nothing. *)
+
 val flush : t -> int
 (** Evict everything; returns the number of dirty lines written back. *)
 

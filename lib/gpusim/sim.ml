@@ -86,9 +86,12 @@ let shadow_serials = Atomic.make 0
 
 let shadow_key : shadow option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 
+(* [Some s as o] returns the option cell already held in DLS — rebuilding
+   [Some s] here would charge two minor words to every counter bump on a
+   pool worker, breaking the encode path's allocation budget. *)
 let shadow t =
   match Domain.DLS.get shadow_key with
-  | Some s when s.owner == t -> Some s
+  | Some s as o when s.owner == t -> o
   | _ -> None
 
 let generation t =
@@ -168,16 +171,23 @@ let load_line t sh (c : Counters.t) line =
   let addr = line * t.dev.line_bytes in
   match sh with
   | None ->
-      let l1 = t.dev.l1_bytes > 0 && (L2.access t.l1 ~addr ~write:false).hit in
+      let l1 =
+        t.dev.l1_bytes > 0
+        && L2.access_code t.l1 ~addr ~write:false land L2.hit_bit <> 0
+      in
       if not l1 then begin
         c.l2_read_transactions <- c.l2_read_transactions + 1;
-        let o = L2.access t.l2 ~addr ~write:false in
-        if not o.hit then c.dram_read_transactions <- c.dram_read_transactions + 1;
-        if o.writeback then
+        let o = L2.access_code t.l2 ~addr ~write:false in
+        if o land L2.hit_bit = 0 then
+          c.dram_read_transactions <- c.dram_read_transactions + 1;
+        if o land L2.writeback_bit <> 0 then
           c.dram_write_transactions <- c.dram_write_transactions + 1
       end
   | Some s ->
-      let l1 = t.dev.l1_bytes > 0 && (L2.access s.sl1 ~addr ~write:false).hit in
+      let l1 =
+        t.dev.l1_bytes > 0
+        && L2.access_code s.sl1 ~addr ~write:false land L2.hit_bit <> 0
+      in
       if not l1 then begin
         c.l2_read_transactions <- c.l2_read_transactions + 1;
         tbuf_push s.strace (line lsl 1)
@@ -189,8 +199,8 @@ let store_line t sh (c : Counters.t) ~serial line =
   c.l2_write_transactions <- c.l2_write_transactions + 1;
   match sh with
   | None ->
-      let o = L2.access t.l2 ~addr:(line * t.dev.line_bytes) ~write:true in
-      if o.writeback then
+      let o = L2.access_code t.l2 ~addr:(line * t.dev.line_bytes) ~write:true in
+      if o land L2.writeback_bit <> 0 then
         c.dram_write_transactions <- c.dram_write_transactions + 1
   | Some s -> tbuf_push s.strace ((line lsl 1) lor 1)
 
@@ -555,77 +565,157 @@ let scrambled n =
   let stride = if n <= 2 then 1 else coprime (max 1 ((n * 5 / 8) + 1)) in
   Array.init n (fun i -> ((i * stride) + 1) mod n)
 
-(* Replay one block's L2 trace through the real shared L2, charging the
-   resulting DRAM traffic exactly as the online sequential path does. *)
-let replay_l2 t (b : tbuf) =
+let block_order ~blocks = scrambled blocks
+
+(* Replay one slice of an encoded L2 trace through the real shared L2,
+   charging the resulting DRAM traffic exactly as the online sequential
+   path does. *)
+let replay_l2 t buf off len =
   let c = t.total in
-  for i = 0 to b.len - 1 do
-    let v = b.buf.(i) in
+  for i = off to off + len - 1 do
+    let v = buf.(i) in
     let addr = v lsr 1 * t.dev.line_bytes in
     if v land 1 = 1 then begin
-      let o = L2.access t.l2 ~addr ~write:true in
-      if o.writeback then
+      let o = L2.access_code t.l2 ~addr ~write:true in
+      if o land L2.writeback_bit <> 0 then
         c.dram_write_transactions <- c.dram_write_transactions + 1
     end
     else begin
-      let o = L2.access t.l2 ~addr ~write:false in
-      if not o.hit then c.dram_read_transactions <- c.dram_read_transactions + 1;
-      if o.writeback then
+      let o = L2.access_code t.l2 ~addr ~write:false in
+      if o land L2.hit_bit = 0 then
+        c.dram_read_transactions <- c.dram_read_transactions + 1;
+      if o land L2.writeback_bit <> 0 then
         c.dram_write_transactions <- c.dram_write_transactions + 1
     end
   done
 
-let run_blocks_parallel t pool ~name ~order ~f =
+(* Per-domain persistent encode state. Worker domains outlive launches,
+   so each domain keeps one trace buffer and one L1 replica for its whole
+   life; a launch serial stamps the buffer so the first chunk of a new
+   launch rewinds it (len <- 0) without freeing the storage. After
+   warm-up no steady-state per-block or per-event allocation remains on
+   the encode path — blocks record their slice of the domain buffer as a
+   (buffer, offset, length) triple into arrays preallocated per launch. *)
+type dstate = { dt : tbuf; dl1 : L2.t option ref; mutable stamp : int }
+
+let launch_serials = Atomic.make 0
+
+let dstate_key : dstate Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { dt = tbuf_create (); dl1 = ref None; stamp = -1 })
+
+let domain_l1 t (d : dstate) =
+  match !(d.dl1) with
+  | Some l1 -> l1
+  | None ->
+      let l1 =
+        L2.create
+          ~bytes:(max t.dev.line_bytes t.dev.l1_bytes)
+          ~assoc:4 ~line_bytes:t.dev.line_bytes
+      in
+      d.dl1 := Some l1;
+      l1
+
+let empty_tbuf = { buf = [||]; len = 0 }
+
+let run_blocks_parallel t pool ~name ~order ?wave_of ~f () =
   let nblocks = Array.length order in
-  let nchunks = min (Par.jobs pool) nblocks in
+  let serial = 1 + Atomic.fetch_and_add launch_serials 1 in
   let sanitize = Sanitize.enabled () in
-  let chunk_counters = Array.init nchunks (fun _ -> Counters.create ()) in
-  let traces = Array.make nblocks None in
+  (* each canonical position k records which domain buffer holds its
+     trace and where — pointers and ints only, no per-block boxing *)
+  let traces_buf = Array.make nblocks empty_tbuf in
+  let tpos_off = Array.make nblocks 0 in
+  let tpos_len = Array.make nblocks 0 in
   let reports = Array.make nblocks None in
-  Par.run pool
-    (Array.init nchunks (fun ci () ->
-         (* contiguous chunk of the scrambled order: merging per-chunk
-            state in chunk order reproduces the sequential order *)
-         let lo = ci * nblocks / nchunks and hi = (ci + 1) * nblocks / nchunks in
-         let sh =
-           {
-             owner = t;
-             sc = chunk_counters.(ci);
-             sl1 =
-               L2.create
-                 ~bytes:(max t.dev.line_bytes t.dev.l1_bytes)
-                 ~assoc:4 ~line_bytes:t.dev.line_bytes;
-             strace = tbuf_create ();
-             sserial = 1 + Atomic.fetch_and_add shadow_serials 1;
-           }
-         in
-         Domain.DLS.set shadow_key (Some sh);
-         Fun.protect
-           ~finally:(fun () -> Domain.DLS.set shadow_key None)
-           (fun () ->
-             for k = lo to hi - 1 do
-               let b = order.(k) in
-               L2.reset sh.sl1;
-               sh.strace <- tbuf_create ();
-               traces.(k) <- Some sh.strace;
-               Tl.begin_ ~arg:(float_of_int b) "sim.block";
-               if sanitize then
-                 reports.(k) <-
-                   Some (Sanitize.capture_block ~name ~block:b (fun () -> f b))
-               else f b;
-               (* arg = L2-trace events encoded for this block; the
-                  encode cost is inline with compute, so the attribution
-                  multiplies this by the calibrated per-event push cost *)
-               Tl.instant ~arg:(float_of_int sh.strace.len) "sim.encode";
-               Tl.end_ ()
-             done)));
+  (* Waves partition the canonical positions while preserving canonical
+     order inside each wave; the Par.run join between waves is the
+     publication barrier that lets wave-0 blocks produce shared state
+     (e.g. representative tile-class recordings) that wave-1 blocks
+     consume without any spinning or racing. *)
+  let waves =
+    match wave_of with
+    | None -> [| Array.init nblocks (fun k -> k) |]
+    | Some wf ->
+        let wid = Array.map wf order in
+        let nw = 1 + Array.fold_left max 0 wid in
+        let counts = Array.make nw 0 in
+        Array.iter (fun w -> counts.(w) <- counts.(w) + 1) wid;
+        let arrs = Array.map (fun c -> Array.make c 0) counts in
+        let fill = Array.make nw 0 in
+        for k = 0 to nblocks - 1 do
+          let w = wid.(k) in
+          arrs.(w).(fill.(w)) <- k;
+          fill.(w) <- fill.(w) + 1
+        done;
+        arrs
+  in
+  let all_chunk_counters = ref [] in
+  Array.iter
+    (fun wave ->
+      let wn = Array.length wave in
+      if wn > 0 then begin
+        let nchunks = min (Par.jobs pool) wn in
+        let chunk_counters = Array.init nchunks (fun _ -> Counters.create ()) in
+        all_chunk_counters := chunk_counters :: !all_chunk_counters;
+        Par.run pool
+          (Array.init nchunks (fun ci () ->
+               (* contiguous chunk of this wave's canonical positions:
+                  merging per-chunk state in chunk order reproduces the
+                  sequential order *)
+               let lo = ci * wn / nchunks and hi = (ci + 1) * wn / nchunks in
+               let d = Domain.DLS.get dstate_key in
+               if d.stamp <> serial then begin
+                 d.stamp <- serial;
+                 d.dt.len <- 0
+               end;
+               let sh =
+                 {
+                   owner = t;
+                   sc = chunk_counters.(ci);
+                   sl1 = domain_l1 t d;
+                   strace = d.dt;
+                   sserial = 1 + Atomic.fetch_and_add shadow_serials 1;
+                 }
+               in
+               Domain.DLS.set shadow_key (Some sh);
+               Fun.protect
+                 ~finally:(fun () -> Domain.DLS.set shadow_key None)
+                 (fun () ->
+                   for j = lo to hi - 1 do
+                     let k = wave.(j) in
+                     let b = order.(k) in
+                     L2.reset sh.sl1;
+                     let off = d.dt.len in
+                     traces_buf.(k) <- d.dt;
+                     tpos_off.(k) <- off;
+                     Tl.begin_ ~arg:(float_of_int b) "sim.block";
+                     if sanitize then
+                       reports.(k) <-
+                         Some (Sanitize.capture_block ~name ~block:b (fun () -> f b))
+                     else f b;
+                     tpos_len.(k) <- d.dt.len - off;
+                     (* arg = L2-trace events encoded for this block; the
+                        encode cost is inline with compute, so the
+                        attribution multiplies this by the calibrated
+                        per-event push cost *)
+                     Tl.instant ~arg:(float_of_int tpos_len.(k)) "sim.encode";
+                     Tl.end_ ()
+                   done)))
+      end)
+    waves;
   (* the determinism tax, made visible: sequential counter merge, then
-     sequential replay of the encoded traces through the shared L2 *)
-  Tl.begin_ ~arg:(float_of_int nchunks) "sim.absorb";
-  Array.iter (fun c -> Counters.add t.total c) chunk_counters;
+     sequential replay of the encoded traces through the shared L2 in
+     canonical (scrambled) position order — wave-independent *)
+  Tl.begin_ ~arg:(float_of_int nblocks) "sim.absorb";
+  List.iter
+    (fun ccs -> Array.iter (fun c -> Counters.add t.total c) ccs)
+    (List.rev !all_chunk_counters);
   Tl.end_ ();
   Tl.begin_ ~arg:(float_of_int nblocks) "sim.l2_replay";
-  Array.iter (function Some tr -> replay_l2 t tr | None -> ()) traces;
+  for k = 0 to nblocks - 1 do
+    replay_l2 t traces_buf.(k).buf tpos_off.(k) tpos_len.(k)
+  done;
   if Tl.enabled () then begin
     let _valid, dirty = L2.stats t.l2 in
     Tl.instant ~arg:(float_of_int dirty) "sim.l2_dirty_lines"
@@ -636,7 +726,7 @@ let run_blocks_parallel t pool ~name ~order ~f =
         Sanitize.absorb_block_reports
           (Array.map (function Some r -> r | None -> assert false) reports))
 
-let launch ?pool ?post t ~name ~blocks ~threads ~shared_bytes ~f =
+let launch ?pool ?post ?wave_of t ~name ~blocks ~threads ~shared_bytes ~f =
   if threads > t.dev.max_threads_per_block then
     invalid_arg
       (Fmt.str "Sim.launch %s: %d threads exceed device limit %d" name threads
@@ -661,7 +751,7 @@ let launch ?pool ?post t ~name ~blocks ~threads ~shared_bytes ~f =
       | _ -> None
     in
     (match par with
-    | Some p -> run_blocks_parallel t p ~name ~order:(scrambled blocks) ~f
+    | Some p -> run_blocks_parallel t p ~name ~order:(scrambled blocks) ?wave_of ~f ()
     | None ->
         Array.iter
           (fun b ->

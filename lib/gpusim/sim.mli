@@ -58,6 +58,7 @@ val create : Device.t -> t
 val launch :
   ?pool:Hextile_par.Par.pool ->
   ?post:(unit -> unit) ->
+  ?wave_of:(int -> int) ->
   t ->
   name:string ->
   blocks:int ->
@@ -85,12 +86,33 @@ val launch :
     sequential run; with a 1-job pool, from inside another parallel
     region, or without [pool] the exact sequential path runs.
 
+    [wave_of], parallel path only, assigns each block id to a wave
+    (small dense non-negative ints); waves execute in ascending order
+    with a full pool join between them, while counter absorption and L2
+    trace replay still happen once, in canonical scrambled-position
+    order, after the last wave — so waves change scheduling but never
+    results. The hybrid executor uses two waves to publish one
+    representative tile-class recording (wave 0) before every member
+    block replays it (wave 1), without spinning or racing on the shared
+    table. The sequential path ignores [wave_of]: the scrambled order
+    already visits each class's representative first (see
+    {!block_order}).
+
     When {!Hextile_obs.Timeline} recording is enabled, every launch
     emits a ["sim.launch"] slice, and the parallel path additionally
     emits per-block ["sim.block"] slices with ["sim.encode"] instants
     (arg = L2-trace events encoded), plus ["sim.absorb"] and
     ["sim.l2_replay"] slices around the sequential join phases — the
-    wall-clock cost of the determinism contract. *)
+    wall-clock cost of the determinism contract. The encode path reuses
+    one persistent trace buffer and L1 replica per domain (rewound per
+    launch), so steady state adds no per-event or per-block allocation. *)
+
+val block_order : blocks:int -> int array
+(** The deterministic scrambled order in which {!launch} visits block
+    ids — position [k] holds the id of the [k]-th block executed (on
+    every jobs value; parallel chunks split this same order
+    contiguously). Exposed so schedulers can agree with the simulator on
+    which block of a tile class runs first (the class representative). *)
 
 (** {2 Warp-level events} — call from inside [f]. Address arrays have one
     entry per lane ([None] = inactive lane) and at most [warp_size]
@@ -208,9 +230,13 @@ val live_counters : t -> Counters.t
 
 val generation : t -> int * int
 (** Identity of (launch, executing chunk): the launch epoch plus the
-    current parallel shadow's unique serial (0 when sequential). Memo
-    tables keyed by this are per-launch and per-chunk, which keeps
-    memoized-block counts deterministic for a given jobs value. *)
+    current parallel shadow's unique serial (0 when sequential).
+    Domain-local scratch keyed by this (e.g. the tape engine's compiled
+    scratch rows) is valid for at most one launch on one chunk and can
+    never leak across launches or domains. The shared tile-class memo is
+    {e not} keyed by this any more — it is a per-launch publish-once
+    table with precomputed class representatives, so memoized-block
+    counts are identical across every jobs value. *)
 
 (** {2 Results} *)
 

@@ -141,8 +141,12 @@ let disable () = on := false
 let label name =
   Domain.DLS.set label_key (Some name);
   match Domain.DLS.get tkey with
-  | Some tr -> tr.tr_name <- name
-  | None -> ()
+  | Some tr when tr.tr_gen = !gen -> tr.tr_name <- name
+  | _ ->
+      (* materialize the track right away: a labelled domain (a pool
+         worker) should appear in the trace even if scheduling never
+         hands it an event before the recording is read *)
+      if !on then ignore (cur_track () : track)
 
 (* ---- record path -------------------------------------------------------- *)
 

@@ -1,0 +1,75 @@
+(* Lock-free publish-once map for process-shared memo tables.
+
+   A fixed-capacity open-addressed table of [Atomic] slots: a key is
+   published at most once per slot by a compare-and-set race, and every
+   later reader of that slot observes the winning value. The map is a
+   cache, not a store — on a full probe window [publish] simply returns
+   the caller's value unpublished, so callers must treat the computed
+   value and the cached value as interchangeable (true for pure
+   functions, which is the only supported use).
+
+   Determinism: with pure computations every candidate value for a key
+   is structurally identical, so which domain wins the publish race is
+   unobservable in results. Sequentially, the winner's value is also the
+   physically shared one (a second [find] returns the published value by
+   identity), which the domain-local memo tables this module replaces
+   also guaranteed. *)
+
+type ('k, 'v) slot = Empty | Entry of 'k * 'v
+
+type ('k, 'v) t = {
+  slots : ('k, 'v) slot Atomic.t array Atomic.t;
+      (** swapped wholesale by [clear]; readers snapshot it once per op *)
+  mask : int;
+  probe : int;  (** max linear-probe window before giving up *)
+}
+
+let create ?(bits = 10) ?(probe = 32) () =
+  let size = 1 lsl bits in
+  {
+    slots = Atomic.make (Array.init size (fun _ -> Atomic.make Empty));
+    mask = size - 1;
+    probe = min probe size;
+  }
+
+let clear t =
+  let size = t.mask + 1 in
+  Atomic.set t.slots (Array.init size (fun _ -> Atomic.make Empty))
+
+let find t k =
+  let arr = Atomic.get t.slots in
+  let h = Hashtbl.hash k land t.mask in
+  let rec go i n =
+    if n >= t.probe then None
+    else
+      match Atomic.get arr.(i) with
+      | Entry (k', v) when k' = k -> Some v
+      | Entry _ -> go ((i + 1) land t.mask) (n + 1)
+      | Empty -> None
+  in
+  go h 0
+
+let publish t k v =
+  let arr = Atomic.get t.slots in
+  let h = Hashtbl.hash k land t.mask in
+  let rec go i n =
+    if n >= t.probe then v (* window full: hand back unpublished *)
+    else
+      let s = arr.(i) in
+      match Atomic.get s with
+      | Entry (k', v') when k' = k -> v' (* lost the race: adopt the winner *)
+      | Entry _ -> go ((i + 1) land t.mask) (n + 1)
+      | Empty ->
+          if Atomic.compare_and_set s Empty (Entry (k, v)) then v
+          else begin
+            (* someone published into this slot between the read and the
+               CAS; re-examine it (it may even be our key) *)
+            match Atomic.get s with
+            | Entry (k', v') when k' = k -> v'
+            | _ -> go ((i + 1) land t.mask) (n + 1)
+          end
+  in
+  go h 0
+
+let find_or_compute t k f =
+  match find t k with Some v -> v | None -> publish t k (f ())

@@ -153,6 +153,17 @@ let run p (thunks : (unit -> unit) array) =
     | None -> ()
   end
 
+(* Hybrid static/dynamic schedule (after Jin et al.): each task owns a
+   contiguous static shard of the index space and drains it through a
+   per-shard atomic cursor; once its own shard is dry it makes one
+   round-robin pass over the other shards and helps drain any that still
+   have work. Contiguous shards keep each domain's accesses local (and
+   cut the cross-domain cache traffic of a single shared counter); the
+   per-shard cursors keep the schedule work-conserving when shards are
+   imbalanced. [fetch_and_add] uniqueness guarantees every index is
+   claimed exactly once no matter how many helpers race on a shard, and
+   the shard owner never exits before its cursor passes [hi], so
+   completeness does not depend on stealing at all. *)
 let map p f (xs : 'a array) : 'b array =
   let n = Array.length xs in
   if n = 0 then [||]
@@ -160,19 +171,37 @@ let map p f (xs : 'a array) : 'b array =
   else begin
     let out = Array.make n None in
     let errs : (exn * Printexc.raw_backtrace) option array = Array.make n None in
-    let next = Atomic.make 0 in
     let ntasks = min p.jobs n in
+    let lo s = s * n / ntasks in
+    let hi s = (s + 1) * n / ntasks in
+    let cursors = Array.init ntasks (fun s -> Atomic.make (lo s)) in
+    let do_one i =
+      try out.(i) <- Some (f xs.(i))
+      with e -> errs.(i) <- Some (e, Printexc.get_raw_backtrace ())
+    in
+    let drain s =
+      let h = hi s in
+      let rec loop () =
+        let i = Atomic.fetch_and_add cursors.(s) 1 in
+        if i < h then begin
+          do_one i;
+          loop ()
+        end
+      in
+      loop ()
+    in
     run p
-      (Array.init ntasks (fun _ () ->
-           let rec loop () =
-             let i = Atomic.fetch_and_add next 1 in
-             if i < n then begin
-               (try out.(i) <- Some (f xs.(i))
-                with e -> errs.(i) <- Some (e, Printexc.get_raw_backtrace ()));
-               loop ()
+      (Array.init ntasks (fun s () ->
+           drain s;
+           (* cursors only grow, so a shard seen dry stays dry: one
+              round-robin pass suffices *)
+           for k = 1 to ntasks - 1 do
+             let v = (s + k) mod ntasks in
+             if Atomic.get cursors.(v) < hi v then begin
+               Tl.instant "par.shard_steal";
+               drain v
              end
-           in
-           loop ()));
+           done));
     (match Array.find_map Fun.id errs with
     | Some (e, bt) -> Printexc.raise_with_backtrace e bt
     | None -> ());

@@ -32,8 +32,10 @@
     around each region on the caller, ["par.task"] around every task
     (with a flow arrow from its enqueue), ["par.steal"] around each
     dequeue-and-run, ["par.idle"] for queue-empty waits (plus
-    ["par.steal_miss"] instants), and ["par.absorb"] around the ordered
-    fork merge. Worker tracks are labelled ["worker-N"]. The timeline
+    ["par.steal_miss"] instants), ["par.shard_steal"] instants when a
+    {!map} task crosses into another task's shard, and ["par.absorb"]
+    around the ordered fork merge. Worker tracks are labelled
+    ["worker-N"]. The timeline
     never feeds back into [Obs], so recording cannot perturb the
     determinism contract. *)
 
@@ -68,8 +70,13 @@ val run : pool -> (unit -> unit) array -> unit
 
 val map : pool -> ('a -> 'b) -> 'a array -> 'b array
 (** Deterministic parallel [Array.map]: results are delivered by index;
-    element order of evaluation is unspecified (dynamic load balancing).
-    Exactly [Array.map f xs] when [jobs p = 1] or inside a region. *)
+    element order of evaluation is unspecified. Scheduling is a hybrid
+    static/dynamic shard schedule — each task owns a contiguous static
+    shard of the index space (good locality, no shared hot counter) and
+    steals from other shards through their per-shard atomic cursors
+    once its own is dry (work-conserving under imbalance). Every index
+    runs exactly once regardless of stealing. Exactly [Array.map f xs]
+    when [jobs p = 1] or inside a region. *)
 
 val iter : pool -> ('a -> unit) -> 'a array -> unit
 

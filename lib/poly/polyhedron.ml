@@ -69,37 +69,31 @@ let eliminate_cs cs j =
 
 (* Projection cache. The same small systems (hexagon shapes, tile
    polyhedra) are eliminated over and over during tile-size search and
-   bound queries; results are memoized per domain (no locking, safe
-   under the parallel runtime) keyed by the canonicalized (sorted,
-   already-normalized) constraint list plus the eliminated variable.
-   Obs counters are replayed on hits — [poly.fm_eliminations] counts
-   requests and [poly.fm_eq_pivots] is bumped from the cached pivot flag
-   — so counter totals are bit-identical whether or not the cache is on,
-   on every domain, at every --jobs value. *)
+   bound queries; results live in a process-shared publish-once table
+   (lock-free, one elimination per distinct system across every domain)
+   keyed by the canonicalized (sorted, already-normalized) constraint
+   list plus the eliminated variable. Obs counters are replayed on hits
+   — [poly.fm_eliminations] counts requests and [poly.fm_eq_pivots] is
+   bumped from the cached pivot flag — so counter totals are
+   bit-identical whether or not the cache is on, on every domain, at
+   every --jobs value. Hit/miss stats are process-wide atomics. *)
+module Oncemap = Hextile_par.Oncemap
+
 let fm_cache_on = Atomic.make true
 let set_fm_cache b = Atomic.set fm_cache_on b
 let fm_cache_enabled () = Atomic.get fm_cache_on
 
-type fm_cache = {
-  tbl : (Constr.t list * int, Constr.t list * bool) Hashtbl.t;
-  mutable hits : int;
-  mutable misses : int;
-}
+let fm_cache : (Constr.t list * int, Constr.t list * bool) Oncemap.t =
+  Oncemap.create ~bits:12 ()
 
-let fm_cache_key =
-  Domain.DLS.new_key (fun () -> { tbl = Hashtbl.create 64; hits = 0; misses = 0 })
-
-let fm_cache_stats () =
-  let c = Domain.DLS.get fm_cache_key in
-  (c.hits, c.misses)
+let fm_hits = Atomic.make 0
+let fm_misses = Atomic.make 0
+let fm_cache_stats () = (Atomic.get fm_hits, Atomic.get fm_misses)
 
 let fm_cache_clear () =
-  let c = Domain.DLS.get fm_cache_key in
-  Hashtbl.reset c.tbl;
-  c.hits <- 0;
-  c.misses <- 0
-
-let fm_cache_max = 4096
+  Oncemap.clear fm_cache;
+  Atomic.set fm_hits 0;
+  Atomic.set fm_misses 0
 
 let eliminate_keep t j =
   Obs.incr "poly.fm_eliminations";
@@ -109,18 +103,14 @@ let eliminate_keep t j =
   in
   if not (Atomic.get fm_cache_on) then finish (eliminate_cs t.cs j)
   else begin
-    let c = Domain.DLS.get fm_cache_key in
     let key = (List.sort compare t.cs, j) in
-    match Hashtbl.find_opt c.tbl key with
+    match Oncemap.find fm_cache key with
     | Some r ->
-        c.hits <- c.hits + 1;
+        Atomic.incr fm_hits;
         finish r
     | None ->
-        c.misses <- c.misses + 1;
-        let r = eliminate_cs t.cs j in
-        if Hashtbl.length c.tbl >= fm_cache_max then Hashtbl.reset c.tbl;
-        Hashtbl.replace c.tbl key r;
-        finish r
+        Atomic.incr fm_misses;
+        finish (Oncemap.publish fm_cache key (eliminate_cs t.cs j))
   end
 
 let project_prefix t k =

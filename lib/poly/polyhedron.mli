@@ -30,14 +30,16 @@ val eliminate_keep : t -> int -> t
     unchanged; the eliminated variable simply no longer occurs in any
     constraint. Uses an equality pivot when one is available.
 
-    Results are memoized per domain, keyed by the canonicalized (sorted)
-    constraint list and the eliminated variable, so repeated projections
-    of the same system (tile-size search, bound queries) are free. A hit
-    for a permuted-but-equal system returns the first computation's
-    result — semantically the same projection, though the constraint
-    order may differ from what an uncached run would produce. Obs
-    counters ([poly.fm_eliminations], [poly.fm_eq_pivots]) are replayed
-    on hits, so counter totals are identical with the cache on or off. *)
+    Results are memoized in a process-shared lock-free publish-once
+    table, keyed by the canonicalized (sorted) constraint list and the
+    eliminated variable, so repeated projections of the same system
+    (tile-size search, bound queries) are computed once across every
+    domain. A hit for a permuted-but-equal system returns the first
+    computation's result — semantically the same projection, though the
+    constraint order may differ from what an uncached run would produce.
+    Obs counters ([poly.fm_eliminations], [poly.fm_eq_pivots]) are
+    replayed on hits, so counter totals are identical with the cache on
+    or off, on every domain, at every jobs value. *)
 
 val set_fm_cache : bool -> unit
 (** Globally enable/disable the projection cache (on by default). With
@@ -47,10 +49,10 @@ val set_fm_cache : bool -> unit
 val fm_cache_enabled : unit -> bool
 
 val fm_cache_stats : unit -> int * int
-(** [(hits, misses)] of the calling domain's cache. *)
+(** Process-wide [(hits, misses)] of the shared cache. *)
 
 val fm_cache_clear : unit -> unit
-(** Drop the calling domain's cache entries and reset its stats. *)
+(** Drop the shared cache's entries and reset its stats. *)
 
 val project_prefix : t -> int -> t
 (** [project_prefix p k] eliminates every variable with index [>= k]. *)

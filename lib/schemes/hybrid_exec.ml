@@ -88,29 +88,15 @@ let align_offsets (t : Hybrid.t) ~reuse =
       Intutil.fmod (-base) 32
   end
 
-(* Tile-class memo state: per-domain, revalidated against the owning
-   simulator and its (launch, chunk) generation, mirroring the parallel
-   shadows. Streams are recorded per class key and replayed for every
-   other block of the class. *)
-type memo_slot = {
-  msim : Sim.t;
-  mgen : int * int;
-  mtbl : (int array, int * Tileclass.stream) Hashtbl.t;
-      (** class key -> (representative s00, recorded stream) *)
-}
-
-let memo_key : memo_slot option ref Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> ref None)
-
-let memo_table (sim : Sim.t) =
-  let slot = Domain.DLS.get memo_key in
-  let gen = Sim.generation sim in
-  match !slot with
-  | Some m when m.msim == sim && m.mgen = gen -> m.mtbl
-  | _ ->
-      let tbl = Hashtbl.create 8 in
-      slot := Some { msim = sim; mgen = gen; mtbl = tbl };
-      tbl
+(* Tile-class memo state is a per-launch shared read-once/replay-many
+   context, not a per-domain table: class roles and representatives are
+   precomputed against the simulator's canonical block order before the
+   launch, the representative records its stream once (wave 0), and
+   every member block — on whatever domain it lands — replays the
+   published stream with its own translation (wave 1). One recording per
+   class per launch, at every jobs value, with identical memoized-block
+   counts; the wave join is the publication barrier, so no domain ever
+   spins on or races for an unpublished stream. *)
 
 let run ?pool ?engine ?(analytic = false) ?(name = "hybrid") ?config prog env dev =
   let ctx = Common.make_ctx ?engine prog env dev in
@@ -687,44 +673,124 @@ let run ?pool ?engine ?(analytic = false) ?(name = "hybrid") ?config prog env de
               end
               (* else: scaled member — derived in the epilogue *))
         end
-        else
+        else if not memo_ok then
           Sim.launch ?pool ctx.sim ~name:lname ~blocks ~threads:config.threads
             ~shared_bytes:0
             ~f:(fun b ->
               let u0, s00 = origin_of b in
-              if not memo_ok then exec_block ~u0 ~s00
-              else begin
-                let key = class_key ~u0 ~s00 in
-                let tbl = memo_table ctx.sim in
-                match Hashtbl.find_opt tbl key with
-                | Some (rep_s00, stream) ->
-                    let ds = s00 - rep_s00 in
+              exec_block ~u0 ~s00)
+        else begin
+          (* ---- memoized (tape) launch ---------------------------------
+             Classify every block against the simulator's canonical
+             scrambled order, so each class's representative is the
+             first block of the class to execute at jobs=1 — and, via
+             the wave split below, the recording exists before any
+             member runs at every jobs value. The publish-once [pub]
+             array is the shared read-once/replay-many context: written
+             by the representative's domain during wave 0, read by
+             every member during wave 1 (the wave join orders the two). *)
+          let order = Sim.block_order ~blocks in
+          let keytbl : (int array, int) Hashtbl.t = Hashtbl.create 16 in
+          let role = Array.make blocks (-1) in
+          let rreps = ref [] and nclasses = ref 0 in
+          Array.iter
+            (fun b ->
+              let u0b, s00 = origin_of b in
+              let key = class_key ~u0:u0b ~s00 in
+              match Hashtbl.find_opt keytbl key with
+              | Some cid -> role.(b) <- cid
+              | None ->
+                  let cid = !nclasses in
+                  incr nclasses;
+                  Hashtbl.add keytbl key cid;
+                  rreps := b :: !rreps;
+                  role.(b) <- cid)
+            order;
+          let crep = Array.of_list (List.rev !rreps) in
+          let rep_s00 = Array.map (fun b -> snd (origin_of b)) crep in
+          let pub :
+              (Tileclass.stream * Common.crows option) option array =
+            Array.make !nclasses None
+          in
+          let noop ~stmt:_ ~tstep:_ ~wregion:_ ~waddr:_ ~sregions:_ ~srcs:_
+              ~n:_ =
+            ()
+          in
+          Sim.launch ?pool ctx.sim ~name:lname ~blocks ~threads:config.threads
+            ~shared_bytes:0
+            ~wave_of:(fun b -> if crep.(role.(b)) = b then 0 else 1)
+            ~f:(fun b ->
+              let u0b, s00 = origin_of b in
+              let cid = role.(b) in
+              if crep.(cid) = b then begin
+                Sim.record_begin ctx.sim ~region_of;
+                match exec_block ~u0:u0b ~s00 with
+                | () -> (
+                    match Sim.record_end ctx.sim with
+                    | Some stream ->
+                        (* under a uniform stride, compile the stream's
+                           compute rows once per class: members then
+                           replay memory events with a no-op callback
+                           and run the compiled rows at a word offset,
+                           with no per-event closure work or boxing *)
+                        let crows =
+                          if not uniform_stride then None
+                          else begin
+                            let rows = ref [] in
+                            Tileclass.iter stream ~f:(function
+                              | Tileclass.Compute
+                                  { stmt; wregion; waddr; sregions; srcs; n; _ }
+                                ->
+                                  let wflat = (waddr - rbases.(wregion)) / 4 in
+                                  let sf =
+                                    Array.mapi
+                                      (fun i s ->
+                                        (s - rbases.(sregions.(i))) / 4)
+                                      srcs
+                                  in
+                                  rows := (stmt, wflat, sf, n) :: !rows
+                              | _ -> ());
+                            Some (Common.compile_rows ctx (List.rev !rows))
+                          end
+                        in
+                        pub.(cid) <- Some (stream, crows)
+                    | None -> ())
+                | exception e ->
+                    ignore (Sim.record_end ctx.sim);
+                    raise e
+              end
+              else
+                match pub.(cid) with
+                | Some (stream, crows) -> (
+                    let ds = s00 - rep_s00.(cid) in
                     let deltas = Array.map (fun st -> 4 * ds * st) stride0s in
-                    Sim.replay_stream ctx.sim stream ~deltas
-                      ~compute:(fun
-                          ~stmt ~tstep:_ ~wregion ~waddr ~sregions ~srcs ~n ->
-                        let wflat =
-                          (waddr + deltas.(wregion) - rbases.(wregion)) / 4
-                        in
-                        let src_flats =
-                          Array.init (Array.length srcs) (fun i ->
-                              (srcs.(i) + deltas.(sregions.(i))
-                              - rbases.(sregions.(i)))
-                              / 4)
-                        in
-                        Common.exec_tape_row ctx ~stmt_idx:stmt ~wflat
-                          ~src_flats ~n)
-                | None -> (
-                    Sim.record_begin ctx.sim ~region_of;
-                    match exec_block ~u0 ~s00 with
-                    | () -> (
-                        match Sim.record_end ctx.sim with
-                        | Some stream -> Hashtbl.replace tbl key (s00, stream)
-                        | None -> ())
-                    | exception e ->
-                        ignore (Sim.record_end ctx.sim);
-                        raise e)
-              end)
+                    match crows with
+                    | Some crows ->
+                        Sim.replay_stream ctx.sim stream ~deltas ~compute:noop;
+                        Common.exec_rows ctx crows ~off:(ds * stride0s.(0))
+                    | None ->
+                        Sim.replay_stream ctx.sim stream ~deltas
+                          ~compute:(fun
+                              ~stmt ~tstep:_ ~wregion ~waddr ~sregions ~srcs ~n
+                            ->
+                            let wflat =
+                              (waddr + deltas.(wregion) - rbases.(wregion)) / 4
+                            in
+                            let src_flats =
+                              Array.init (Array.length srcs) (fun i ->
+                                  (srcs.(i) + deltas.(sregions.(i))
+                                  - rbases.(sregions.(i)))
+                                  / 4)
+                            in
+                            Common.exec_tape_row ctx ~stmt_idx:stmt ~wflat
+                              ~src_flats ~n))
+                | None ->
+                    (* the representative's recording was invalidated (a
+                       per-lane fallback row): members run live — same
+                       counters, nothing memoized, and no domain ever
+                       re-attempts the recording *)
+                    exec_block ~u0:u0b ~s00)
+        end
       end
     end
   in

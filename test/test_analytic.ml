@@ -17,6 +17,8 @@ module Suite = Hextile_stencils.Suite
 module E = Hextile_experiments.Experiments
 module Check = Hextile_check
 
+module Par = Hextile_par.Par
+
 let dev = Device.gtx470
 
 let dram_keys = [ "dram_read_transactions"; "dram_write_transactions" ]
@@ -147,6 +149,40 @@ let test_fuzzed_programs () =
      degraded runs *)
   Alcotest.(check bool) "some fuzzed runs scaled" true (!scaled > 0)
 
+(* Analytic mode under a pool: representative instancing, block scaling
+   and the compressed-trace L2 replay are jobs-invariant. Grids and
+   every counter — the DRAM fields included, since the compressed
+   replay runs sequentially on the launch domain — plus the class and
+   analytic-block counts must be bit-identical at jobs 1, 2 and 4. *)
+let test_analytic_jobs_deterministic () =
+  List.iter
+    (fun (prog : Hextile_ir.Stencil.t) ->
+      let env = E.sizes ~quick:true prog in
+      let e x = List.assoc x env in
+      let seq = Hybrid_exec.run ~analytic:true prog e dev in
+      List.iter
+        (fun jobs ->
+          Par.with_pool ~jobs (fun pool ->
+              let r = Hybrid_exec.run ~pool ~analytic:true prog e dev in
+              if grids_sig seq <> grids_sig r then
+                Alcotest.failf "%s/jobs%d: grids differ from jobs1" prog.name
+                  jobs;
+              Alcotest.(check (list (pair string int)))
+                (Fmt.str "%s/jobs%d: counters" prog.name jobs)
+                (Counters.to_assoc seq.counters)
+                (Counters.to_assoc r.counters);
+              Alcotest.(check int)
+                (Fmt.str "%s/jobs%d: updates" prog.name jobs)
+                seq.updates r.updates;
+              Alcotest.(check int)
+                (Fmt.str "%s/jobs%d: classes" prog.name jobs)
+                seq.classes r.classes;
+              Alcotest.(check int)
+                (Fmt.str "%s/jobs%d: blocks_analytic" prog.name jobs)
+                seq.blocks_analytic r.blocks_analytic))
+        [ 2; 4 ])
+    Suite.table3
+
 let suite =
   [
     Alcotest.test_case "dram error bound value" `Quick test_bound_value;
@@ -158,4 +194,6 @@ let suite =
       test_analytic_vs_reference;
     Alcotest.test_case "fuzzed programs: analytic = exact" `Slow
       test_fuzzed_programs;
+    Alcotest.test_case "analytic: bit-identical at jobs 1/2/4" `Slow
+      test_analytic_jobs_deterministic;
   ]

@@ -12,6 +12,7 @@ let () =
       ("tape", Test_tape.suite);
       ("check", Test_check.suite);
       ("par", Test_par.suite);
+      ("par_stress", Test_par_stress.suite);
       ("codegen", Test_codegen.suite);
       ("experiments", Test_experiments.suite);
       ("analytic", Test_analytic.suite);

@@ -27,6 +27,26 @@ let compare_results name (ref_r : Common.result) (tape_r : Common.result) =
 
 let hybrid ?pool ~engine prog env = Hybrid_exec.run ?pool ~engine prog env Device.gtx470
 
+(* Stronger than [compare_results]: the two runs must agree on
+   [blocks_memoized] too. Used across jobs values, where the shared
+   read-once/replay-many class table must change only who records a
+   class, never how many blocks replay one. *)
+let compare_identical name (a : Common.result) (b : Common.result) =
+  Alcotest.(check (list (pair string int)))
+    (name ^ ": counters")
+    (Counters.to_assoc a.counters)
+    (Counters.to_assoc b.counters);
+  Alcotest.(check int) (name ^ ": updates") a.updates b.updates;
+  Alcotest.(check int) (name ^ ": blocks") a.blocks b.blocks;
+  Alcotest.(check int)
+    (name ^ ": blocks_memoized")
+    a.blocks_memoized b.blocks_memoized;
+  Hashtbl.iter
+    (fun aname g ->
+      if not (Grid.equal g (Grid.find b.grids aname)) then
+        Alcotest.failf "%s: array %s differs across jobs values" name aname)
+    a.grids
+
 (* Table 3 (plus the extra suite programs) on the hybrid scheme, at jobs
    1, 2 and 4: the memoized tape engine against the closure reference. *)
 let test_hybrid_table3 () =
@@ -60,20 +80,47 @@ let test_other_schemes () =
     (fun engine p e -> Split_tiling.run ~engine p e Device.gtx470)
     Suite.heat1d
 
+(* The shared class table is the tape engine's one cross-domain data
+   structure; this is the determinism contract head-on. Every suite
+   program at jobs 1, 2 and 4: grids, every counter, the update count
+   and [blocks_memoized] all bit-identical to the sequential run. *)
+let test_shared_cache_determinism () =
+  List.iter
+    (fun prog ->
+      let env = test_env prog in
+      let seq = hybrid ~engine:Common.Tape prog env in
+      List.iter
+        (fun jobs ->
+          Par.with_pool ~jobs (fun pool ->
+              compare_identical
+                (Fmt.str "%s/jobs%d vs jobs1" prog.Stencil.name jobs)
+                seq
+                (hybrid ~pool ~engine:Common.Tape prog env)))
+        [ 2; 4 ])
+    Suite.all
+
 (* 25 fuzzed programs: random shapes (folded/in-place storage, multiple
    statements, asymmetric offsets, degenerate domains) through the
-   hybrid scheme, engines compared at jobs 1 and 2. *)
+   hybrid scheme, engines compared at jobs 1 and 2 — plus a jobs=4 leg
+   holding the parallel run to full [compare_identical] strictness
+   against the sequential tape run. *)
 let test_fuzzed () =
   let rng = Check.Rng.create 2024 in
   for i = 1 to 25 do
     let prog, env = Check.Gen.generate (Check.Rng.derive rng i) in
     let e p = List.assoc p env in
     let ref_r = hybrid ~engine:Common.Ref prog e in
-    compare_results (Fmt.str "fuzz%d/jobs1" i) ref_r (hybrid ~engine:Common.Tape prog e);
+    let t1 = hybrid ~engine:Common.Tape prog e in
+    compare_results (Fmt.str "fuzz%d/jobs1" i) ref_r t1;
     Par.with_pool ~jobs:2 (fun pool ->
         compare_results
           (Fmt.str "fuzz%d/jobs2" i)
           ref_r
+          (hybrid ~pool ~engine:Common.Tape prog e));
+    Par.with_pool ~jobs:4 (fun pool ->
+        compare_identical
+          (Fmt.str "fuzz%d/jobs4 vs jobs1" i)
+          t1
           (hybrid ~pool ~engine:Common.Tape prog e))
   done
 
@@ -110,6 +157,8 @@ let suite =
     Alcotest.test_case "hybrid tape vs ref, suite, jobs 1/2/4" `Quick
       test_hybrid_table3;
     Alcotest.test_case "classical schemes tape vs ref" `Quick test_other_schemes;
+    Alcotest.test_case "shared class table: bit-identical at jobs 1/2/4" `Quick
+      test_shared_cache_determinism;
     Alcotest.test_case "hybrid tape vs ref, 25 fuzzed programs" `Quick test_fuzzed;
     Alcotest.test_case "tile-class memoization fires" `Quick test_memoization_fires;
     Alcotest.test_case "sanitizer forces uncached execution" `Quick
