@@ -1,6 +1,6 @@
 # Convenience wrapper; `make check` is what CI runs.
 
-.PHONY: all build test check fmt clean profile-smoke fuzz bench bench-parattr bench-tilesize bench-sim bench-analytic
+.PHONY: all build test check fmt clean profile-smoke fuzz bench bench-parattr bench-tilesize bench-sim bench-analytic bench-serve
 
 all: build
 
@@ -82,6 +82,18 @@ bench-sim:
 bench-analytic:
 	dune exec bench/main.exe -- --only analytic --jobs 2 --json BENCH_analytic.json
 	@python3 -c "import json; d=json.load(open('BENCH_analytic.json'))['experiments']['analytic']; f=d['full_size']; print('analytic: scaled speedup=%.2fx max dram err=%.4f; ' % (d['speedup'], d['max_dram_err']) + ', '.join('%s %.0fs (%d/%d blocks scaled)' % (k, v['wall_s'], v['blocks_analytic'], v['blocks']) for k, v in f.items()))"
+
+# Serve-daemon benchmark: sustained request throughput through the
+# hextile serve request path (Table 3 traffic plus seeded fuzz
+# programs, with duplicate requests), cold cache vs warm, on one
+# daemon-lifetime pool and cache. Fails unless every response stream is
+# bit-identical at jobs 1/2/4 cold and warm, every run response matches
+# the one-shot pipeline's grids hash and result record exactly, and the
+# warm cache delivers at least 3x the cold throughput. The JSON lands
+# in BENCH_serve.json.
+bench-serve:
+	dune exec bench/main.exe -- --only serve --jobs 2 --json BENCH_serve.json
+	@python3 -c "import json; d=json.load(open('BENCH_serve.json'))['experiments']['serve']; c=d['cold']; w=d['warm']; h=d['hit_rates']; print('serve: %d reqs cold %.1f req/s warm %.1f req/s (%.1fx) hits entry=%.2f run=%.2f identical=%s' % (d['requests'], c['req_per_s'], w['req_per_s'], d['warm_speedup'], h['entry'], h['run'], d['identical']))"
 
 clean:
 	dune clean

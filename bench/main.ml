@@ -649,6 +649,218 @@ let tilesearch ~jobs ~quick () =
       ("stencils", Json.Obj (List.rev !rows));
     ]
 
+(* ---- serve daemon benchmark ------------------------------------------- *)
+
+module Serve = Hextile_serve
+
+(* Sustained request throughput and latency through the serve daemon,
+   cold cache vs warm, over Table 3 traffic plus seeded fuzz programs
+   with duplicates. Three gates, all failwith on violation (so `make
+   bench-serve` is a real check): (1) every response stream is bit-wise
+   identical at jobs 1, 2 and 4, cold and warm; (2) every run response
+   carries exactly the grids hash and result record of the one-shot
+   pipeline (what `hextile run` prints); (3) the warm cache delivers at
+   least 3x the cold throughput. The JSON lands in BENCH_serve.json via
+   `make bench-serve`. *)
+let serve_bench ~jobs ~quick () =
+  section
+    (Fmt.str
+       "Serve daemon: cold vs warm throughput, Table 3 + fuzz traffic \
+        (jobs=%d%s)"
+       jobs
+       (if quick then ", quick" else ""));
+  let module Gen = Hextile_check.Gen in
+  let module Rng = Hextile_check.Rng in
+  let module Pretty = Hextile_check.Pretty in
+  (* traffic: builtins at small instances + fuzzed sources, each program
+     contributing tilesize + run + compile + a duplicate run *)
+  let builtins =
+    List.filter_map
+      (fun (p : Hextile_ir.Stencil.t) ->
+        let dims = Hextile_ir.Stencil.spatial_dims p in
+        if (not quick) || dims <= 2 then
+          Some (p.name, `Builtin p.name, if dims >= 3 then (16, 4) else (64, 8))
+        else None)
+      Suite.table3
+  in
+  let base = Rng.create 0xbe7c5 in
+  let fuzzed =
+    List.map
+      (fun seed ->
+        let prog, env = Gen.generate (Rng.derive base seed) in
+        ( Fmt.str "fuzz%d" seed,
+          `Source (Pretty.to_source prog),
+          (List.assoc "N" env, List.assoc "T" env) ))
+      [ 1; 2; 3; 4; 5; 6 ]
+  in
+  let mk_line id op (_, src, (n, t)) =
+    let prog_field =
+      match src with
+      | `Builtin b -> Fmt.str "\"builtin\":%s" (Json.to_string (Json.Str b))
+      | `Source s -> Fmt.str "\"source\":%s" (Json.to_string ~minify:true (Json.Str s))
+    in
+    Fmt.str "{\"id\":%d,\"op\":%S,%s,\"N\":%d,\"T\":%d}" id op prog_field n t
+  in
+  let traffic =
+    List.concat
+      (List.mapi
+         (fun i p ->
+           [
+             mk_line (i * 10) "tilesize" p;
+             mk_line ((i * 10) + 1) "run" p;
+             mk_line ((i * 10) + 2) "run" p;
+             mk_line ((i * 10) + 3) "compile" p;
+           ])
+         (builtins @ fuzzed))
+  in
+  let nreq = List.length traffic in
+  (* one request per wave, timed individually, through one pool and one
+     cache — the daemon-lifetime configuration *)
+  let exec_one ~cache ~pool line =
+    let out = ref None in
+    let fed = ref false in
+    let t0 = Unix.gettimeofday () in
+    Serve.Daemon.run_lines ~cache ~pool
+      ~read_line:(fun () ->
+        if !fed then None
+        else begin
+          fed := true;
+          Some line
+        end)
+      ~write_line:(fun l -> out := Some l)
+      ();
+    let dt = Unix.gettimeofday () -. t0 in
+    match !out with
+    | Some l -> (dt, l)
+    | None -> failwith "serve: request produced no response"
+  in
+  let pass ~cache ~pool =
+    List.split (List.map (exec_one ~cache ~pool) traffic)
+  in
+  let stream_at jobs =
+    Par.with_pool ~jobs (fun pool ->
+        let cache = Serve.Cache.create () in
+        let _, cold = pass ~cache ~pool in
+        let _, warm = pass ~cache ~pool in
+        (cold, warm))
+  in
+  let percentile sorted p =
+    List.nth sorted (min (List.length sorted - 1) (p * List.length sorted / 100))
+  in
+  let stats_of lat =
+    let sorted = List.sort compare lat in
+    let total = List.fold_left ( +. ) 0.0 lat in
+    ( total,
+      float_of_int (List.length lat) /. total,
+      1000.0 *. percentile sorted 50,
+      1000.0 *. percentile sorted 99 )
+  in
+  (* the measured run: one pool at the requested jobs *)
+  Par.with_pool ~jobs
+  @@ fun pool ->
+  let cache = Serve.Cache.create () in
+  let cold_lat, cold_resp = pass ~cache ~pool in
+  let warm_lat, warm_resp = pass ~cache ~pool in
+  let cold_s, cold_rps, cold_p50, cold_p99 = stats_of cold_lat in
+  let warm_s, warm_rps, warm_p50, warm_p99 = stats_of warm_lat in
+  let speedup = warm_rps /. cold_rps in
+  let s = Serve.Cache.stats cache in
+  let hit_rate h m = float_of_int h /. float_of_int (max 1 (h + m)) in
+  Fmt.pr "%d requests (%d programs)@." nreq (List.length (builtins @ fuzzed));
+  Fmt.pr "cold: %.2f s  %.1f req/s  p50 %.1f ms  p99 %.1f ms@." cold_s cold_rps
+    cold_p50 cold_p99;
+  Fmt.pr "warm: %.2f s  %.1f req/s  p50 %.1f ms  p99 %.1f ms  (%.1fx)@." warm_s
+    warm_rps warm_p50 warm_p99 speedup;
+  Fmt.pr
+    "hit rates: entry %.2f  tilesize %.2f  run %.2f  compile %.2f  \
+     (collisions %d)@."
+    (hit_rate s.entry_hits s.entry_misses)
+    (hit_rate s.tilesize_hits s.tilesize_misses)
+    (hit_rate s.run_hits s.run_misses)
+    (hit_rate s.compile_hits s.compile_misses)
+    s.collisions;
+  (* gate 1: bit-identical response streams cold/warm and across jobs *)
+  if cold_resp <> warm_resp then
+    failwith "serve: warm responses diverge bit-wise from cold responses";
+  List.iter
+    (fun j ->
+      let cold_j, warm_j = stream_at j in
+      if cold_j <> cold_resp || warm_j <> warm_resp then
+        failwith (Fmt.str "serve: responses diverge bit-wise at jobs=%d" j))
+    (List.filter (fun j -> j <> jobs) [ 1; 2; 4 ]);
+  (* gate 2: run responses carry exactly the one-shot pipeline's result.
+     Responses are matched by request id (the first "run" line of program
+     i carries id 10i+1) — source-form programs all share the name
+     "<request>", so the name can't disambiguate them. *)
+  List.iteri
+    (fun i (name, src, (n, t)) ->
+      let prog =
+        match src with
+        | `Builtin b -> Suite.find b
+        | `Source s -> (
+            (* same name the daemon gives source-form programs *)
+            match Hextile_frontend.Front.parse_string ~name:"<request>" s with
+            | Ok p -> p
+            | Error m -> failwith ("serve: " ^ name ^ ": " ^ m))
+      in
+      let env = [ ("N", n); ("T", t) ] in
+      let oneshot = Experiments.run_scheme Experiments.Hybrid prog env Device.gtx470 in
+      let response =
+        List.find
+          (fun line ->
+            match Json.parse line with
+            | Ok doc -> Json.member "id" doc = Some (Json.Int ((i * 10) + 1))
+            | Error _ -> false)
+          cold_resp
+      in
+      let doc = Result.get_ok (Json.parse response) in
+      let expect_hash =
+        Serve.Engine.grids_hash prog oneshot.Hextile_schemes.Common.grids
+      in
+      if Json.member "grids_hash" doc <> Some (Json.Str expect_hash) then
+        failwith (Fmt.str "serve: %s grids hash diverges from one-shot" name);
+      if
+        Option.map Json.to_string (Json.member "result" doc)
+        <> Some (Json.to_string (Experiments.result_json oneshot))
+      then
+        failwith (Fmt.str "serve: %s result diverges from one-shot" name))
+    (builtins @ fuzzed);
+  Fmt.pr "bit-identity: ok at jobs 1/2/4, cold and warm, vs one-shot@.";
+  (* gate 3: the cache must actually pay *)
+  if speedup < 3.0 then
+    failwith
+      (Fmt.str "serve: warm throughput %.2fx cold, below the 3x floor" speedup);
+  let leg name (total, rps, p50, p99) =
+    ( name,
+      Json.Obj
+        [
+          ("total_s", Json.Float total);
+          ("req_per_s", Json.Float rps);
+          ("p50_ms", Json.Float p50);
+          ("p99_ms", Json.Float p99);
+        ] )
+  in
+  Json.Obj
+    [
+      ("jobs", Json.Int jobs);
+      ("requests", Json.Int nreq);
+      ("programs", Json.Int (List.length (builtins @ fuzzed)));
+      leg "cold" (cold_s, cold_rps, cold_p50, cold_p99);
+      leg "warm" (warm_s, warm_rps, warm_p50, warm_p99);
+      ("warm_speedup", Json.Float speedup);
+      ( "hit_rates",
+        Json.Obj
+          [
+            ("entry", Json.Float (hit_rate s.entry_hits s.entry_misses));
+            ("tilesize", Json.Float (hit_rate s.tilesize_hits s.tilesize_misses));
+            ("run", Json.Float (hit_rate s.run_hits s.run_misses));
+            ("compile", Json.Float (hit_rate s.compile_hits s.compile_misses));
+            ("collisions", Json.Int s.collisions);
+          ] );
+      ("cache", Serve.Cache.stats_json cache);
+      ("identical", Json.Bool true);
+    ]
+
 (* ---- Bechamel micro-benchmarks: one per table/figure driver ---------- *)
 
 let micro () =
@@ -829,6 +1041,7 @@ let () =
       ("simcmp", simcmp ~jobs ~quick);
       ("analytic", analytic ~jobs ~quick);
       ("tilesearch", tilesearch ~jobs ~quick);
+      ("serve", serve_bench ~jobs ~quick);
       ("micro", micro);
     ]
   in
@@ -836,12 +1049,13 @@ let () =
     match !only with
     | [] ->
         (* micro has its own timing loop; parcmp, parattr, tilesearch,
-           simcmp and analytic spawn their own pools and time things —
-           all run only on request *)
+           simcmp, analytic and serve spawn their own pools and time
+           things — all run only on request *)
         List.filter
           (fun id ->
             id <> "micro" && id <> "parcmp" && id <> "parattr"
-            && id <> "tilesearch" && id <> "simcmp" && id <> "analytic")
+            && id <> "tilesearch" && id <> "simcmp" && id <> "analytic"
+            && id <> "serve")
           (List.map fst all)
     | l ->
         List.concat_map

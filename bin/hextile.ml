@@ -1,7 +1,7 @@
 (* hextile — hybrid hexagonal/classical tiling for GPUs, command line.
 
    Subcommands: parse, deps, tile, codegen, run, profile, tilesize, fuzz,
-   list. *)
+   serve, list. *)
 
 open Cmdliner
 module Experiments = Hextile_experiments.Experiments
@@ -9,6 +9,7 @@ module Obs = Hextile_obs.Obs
 module Timeline = Hextile_obs.Timeline
 module Json = Hextile_obs.Json
 module Par = Hextile_par.Par
+module Oncemap = Hextile_par.Oncemap
 open Hextile_ir
 open Hextile_deps
 open Hextile_tiling
@@ -96,6 +97,7 @@ let with_trace trace k =
       Obs.enable ();
       Fun.protect
         ~finally:(fun () ->
+          Oncemap.publish_obs ();
           Obs.write_json path;
           Obs.disable ())
         k
@@ -287,14 +289,9 @@ let tilesize_cmd =
         with_trace trace (fun () ->
             with_trace_out trace_out @@ fun () ->
             Par.with_pool ~jobs @@ fun pool ->
-            let dims = Stencil.spatial_dims prog in
-            let wi = List.init (dims - 1) (fun d -> if d = dims - 2 then [ 32; 64 ] else [ 4; 6; 10 ]) in
             let t0 = Unix.gettimeofday () in
             let best, report =
-              Tile_size.select_with_report ~pool prog ~h_candidates:[ 1; 2; 3; 5 ]
-                ~w0_candidates:[ 2; 4; 7; 8 ] ~wi_candidates:wi
-                ~shared_mem_floats:(48 * 1024 / 4)
-                ~require_multiple:(if dims > 1 then 32 else 1) ()
+              Tile_size.select_spec ~pool prog (Tile_size.default_spec prog)
             in
             let dt = Unix.gettimeofday () -. t0 in
             (* search counters go to stderr unconditionally (no --trace
@@ -424,6 +421,7 @@ let profile_cmd =
             Fmt.epr "hextile: %s@." m;
             1
         | result ->
+            Oncemap.publish_obs ();
             let doc =
               Json.Obj
                 [
@@ -585,6 +583,70 @@ let list_cmd =
   in
   Cmd.v (Cmd.info "list" ~doc:"List built-in benchmark stencils.") Term.(const run $ const ())
 
+let serve_cmd =
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Listen on a Unix-domain socket at $(docv) (created, and \
+             removed on shutdown).")
+  and stdio_arg =
+    Arg.(
+      value & flag
+      & info [ "stdio" ]
+          ~doc:
+            "Serve JSON lines on stdin/stdout; a blank line delimits a \
+             request wave, end of input stops the daemon.")
+  and max_queue_arg =
+    Arg.(
+      value
+      & opt int Hextile_serve.Daemon.default_config.max_queue
+      & info [ "max-queue" ] ~docv:"N"
+          ~doc:
+            "Admission bound: requests beyond $(docv) queued are shed \
+             with an explicit error response.")
+  and max_wave_arg =
+    Arg.(
+      value
+      & opt int Hextile_serve.Daemon.default_config.max_wave
+      & info [ "max-wave" ] ~docv:"N"
+          ~doc:"Maximum requests batched into one execution wave (stdio).")
+  in
+  let run socket stdio jobs max_queue max_wave =
+    let config = { Hextile_serve.Daemon.max_queue; max_wave } in
+    let cache = Hextile_serve.Cache.create () in
+    match (socket, stdio) with
+    | None, false | Some _, true ->
+        Fmt.epr "hextile: serve needs exactly one of --socket PATH or --stdio@.";
+        2
+    | Some path, false ->
+        Par.with_pool ~jobs (fun pool ->
+            Hextile_serve.Daemon.serve_socket ~config ~cache ~pool ~path ());
+        0
+    | None, true ->
+        Par.with_pool ~jobs (fun pool ->
+            Hextile_serve.Daemon.run_lines ~config ~cache ~pool
+              ~read_line:(fun () -> In_channel.input_line In_channel.stdin)
+              ~write_line:(fun l ->
+                print_string l;
+                print_newline ();
+                flush stdout)
+              ());
+        0
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Long-lived compile-and-simulate daemon: JSON-lines requests \
+          (run, tilesize, compile, stats) over a Unix socket or stdio, \
+          with cross-request structural caching and request batching. \
+          Responses are bit-identical to the one-shot commands.")
+    Term.(
+      const run $ socket_arg $ stdio_arg $ jobs_arg $ max_queue_arg
+      $ max_wave_arg)
+
 let () =
   let doc = "hybrid hexagonal/classical tiling for GPUs (CGO 2014), in OCaml" in
   let info = Cmd.info "hextile" ~version:"1.0.0" ~doc in
@@ -600,5 +662,6 @@ let () =
             profile_cmd;
             tilesize_cmd;
             fuzz_cmd;
+            serve_cmd;
             list_cmd;
           ]))

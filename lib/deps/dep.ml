@@ -78,7 +78,8 @@ let analyze_uncached (p : Stencil.t) =
    raising. *)
 module Oncemap = Hextile_par.Oncemap
 
-let memo : (Stencil.t, t list) Oncemap.t = Oncemap.create ~bits:8 ()
+let memo : (Stencil.t, t list) Oncemap.t =
+  Oncemap.create ~bits:8 ~name:"dep.analyze" ()
 
 let analyze (p : Stencil.t) = Oncemap.find_or_compute memo p (fun () -> analyze_uncached p)
 

@@ -20,9 +20,13 @@
 
 type ('k, 'v) t
 
-val create : ?bits:int -> ?probe:int -> unit -> ('k, 'v) t
+val create : ?bits:int -> ?probe:int -> ?name:string -> unit -> ('k, 'v) t
 (** [create ~bits ~probe ()] makes a table of [2^bits] slots (default
-    1024) probed linearly over a window of [probe] slots (default 32). *)
+    1024) probed linearly over a window of [probe] slots (default 32).
+    With [?name] the table registers in a process-global list so its
+    hit/miss stats appear in {!stats_all} and {!publish_obs} — use for
+    long-lived (module-level or cache-context) tables only; registered
+    tables are never unregistered. *)
 
 val find : ('k, 'v) t -> 'k -> 'v option
 (** The published value for this key, if any domain has published one
@@ -39,6 +43,28 @@ val find_or_compute : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
     run concurrently on several domains during a race; it must be pure. *)
 
 val clear : ('k, 'v) t -> unit
-(** Drop every published entry (by installing a fresh slot array).
-    Concurrent operations racing with a clear may publish into the old
-    array; such entries are simply lost — acceptable for a cache. *)
+(** Drop every published entry (by installing a fresh slot array) and
+    reset the hit/miss stats. Concurrent operations racing with a clear
+    may publish into the old array; such entries are simply lost —
+    acceptable for a cache. *)
+
+(** {2 Stats}
+
+    Every {!find} (and hence {!find_or_compute}) bumps a per-table hit
+    or miss atomic. Counts depend on scheduling — two domains racing on
+    a cold key both record a miss — so they are monitoring data and are
+    never fed back into computed results. *)
+
+val stats : ('k, 'v) t -> int * int
+(** [(hits, misses)] since creation or the last {!clear}. *)
+
+val stats_all : unit -> (string * int * int) list
+(** [(name, hits, misses)] for every table created with [?name], in
+    registration order. *)
+
+val publish_obs : unit -> unit
+(** Fold every named table's stats into the {!Hextile_obs.Obs} counter
+    registry as [oncemap.<name>.hits] / [oncemap.<name>.misses]. Only
+    the delta since the previous publication is added, so report paths
+    may call this repeatedly. No-op while Obs is disabled. Main-domain
+    only (it writes the Obs registry). *)

@@ -84,16 +84,10 @@ let set_fm_cache b = Atomic.set fm_cache_on b
 let fm_cache_enabled () = Atomic.get fm_cache_on
 
 let fm_cache : (Constr.t list * int, Constr.t list * bool) Oncemap.t =
-  Oncemap.create ~bits:12 ()
+  Oncemap.create ~bits:12 ~name:"poly.fm_projection" ()
 
-let fm_hits = Atomic.make 0
-let fm_misses = Atomic.make 0
-let fm_cache_stats () = (Atomic.get fm_hits, Atomic.get fm_misses)
-
-let fm_cache_clear () =
-  Oncemap.clear fm_cache;
-  Atomic.set fm_hits 0;
-  Atomic.set fm_misses 0
+let fm_cache_stats () = Oncemap.stats fm_cache
+let fm_cache_clear () = Oncemap.clear fm_cache
 
 let eliminate_keep t j =
   Obs.incr "poly.fm_eliminations";
@@ -105,12 +99,8 @@ let eliminate_keep t j =
   else begin
     let key = (List.sort compare t.cs, j) in
     match Oncemap.find fm_cache key with
-    | Some r ->
-        Atomic.incr fm_hits;
-        finish r
-    | None ->
-        Atomic.incr fm_misses;
-        finish (Oncemap.publish fm_cache key (eliminate_cs t.cs j))
+    | Some r -> finish r
+    | None -> finish (Oncemap.publish fm_cache key (eliminate_cs t.cs j))
   end
 
 let project_prefix t k =

@@ -126,6 +126,17 @@ let compile_tape (s : Stencil.stmt) (wg : Grid.t) =
          ~instrs:(Array.of_list (List.rev !instrs)))
   end
 
+(* Cross-request tape cache. A statement's register tape is a pure
+   function of the statement and its write array's fold depth (the only
+   part of the grid shape [compile_tape] consults), so compiled tapes are
+   shared process-wide in a publish-once table — a long-lived server
+   compiles each distinct statement once across every request instead of
+   once per [make_ctx]. [Tape.t] is immutable (scratch buffers are
+   per-domain, not part of the tape), so sharing is sound. *)
+let tape_cache : (Stencil.stmt * int option, Tape.t option) Hextile_par.Oncemap.t
+    =
+  Hextile_par.Oncemap.create ~bits:8 ~name:"schemes.tape" ()
+
 let compile_stmt (ctx : ctx) (s : Stencil.stmt) =
   match Hashtbl.find_opt ctx.compiled s.sname with
   | Some c -> c
@@ -168,7 +179,10 @@ let compile_stmt (ctx : ctx) (s : Stencil.stmt) =
           cwgrid = wg;
           cwflat = access_flat ctx.grids s.write;
           creads = Array.to_list tsrcs;
-          tape = compile_tape s wg;
+          tape =
+            Hextile_par.Oncemap.find_or_compute tape_cache
+              (s, wg.decl.fold)
+              (fun () -> compile_tape s wg);
           tsrcs;
           tdatas = Array.map (fun ((g : Grid.t), _) -> g.data) tsrcs;
         }

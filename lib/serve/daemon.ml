@@ -1,0 +1,192 @@
+module Par = Hextile_par.Par
+module Json = Hextile_obs.Json
+
+type config = { max_queue : int; max_wave : int }
+
+let default_config = { max_queue = 256; max_wave = 64 }
+
+(* One admitted line. [reply] routes the response to the owning
+   transport endpoint (stdout, or one socket client). *)
+type item = {
+  reply : string -> unit;
+  body : body;
+}
+
+and body =
+  | Bad of Json.t * string  (** parse/validation failure: id, message *)
+  | Shed of Json.t  (** bounced at admission: queue full *)
+  | Work of Proto.request * float  (** parsed request, arrival time *)
+
+let admit ~now ~queued ~(config : config) ~reply line =
+  if String.trim line = "" then None
+  else
+    Some
+      (match Proto.parse_request line with
+      | Error (id, msg) -> { reply; body = Bad (id, msg) }
+      | Ok r ->
+          if queued >= config.max_queue then { reply; body = Shed r.id }
+          else { reply; body = Work (r, now ()) })
+
+(* Execute one wave. Work items are deduplicated on their work key and
+   the unique requests run over the pool; every response is written in
+   item order regardless of which domain computed it (Par.map delivers
+   by index, and duplicates share the winner's payload). Returns true
+   when a shutdown request was answered. *)
+let exec_wave ~now ~cache ~pool (items : item list) =
+  let deadline_ok arrival (r : Proto.request) =
+    match r.timeout_ms with
+    | None -> true
+    | Some ms -> now () <= arrival +. (float_of_int ms /. 1000.)
+  in
+  let live =
+    List.filter_map
+      (function
+        | { body = Work (r, arrival); _ } when deadline_ok arrival r ->
+            Some (Proto.work_key r)
+        | _ -> None)
+      items
+  in
+  let uniq = List.sort_uniq compare live in
+  let results =
+    Par.map pool
+      (fun r ->
+        match Engine.execute ~cache r with
+        | res -> res
+        | exception e -> Error (Printexc.to_string e))
+      (Array.of_list uniq)
+  in
+  let table = List.combine uniq (Array.to_list results) in
+  let shutdown = ref false in
+  List.iter
+    (fun it ->
+      let line =
+        match it.body with
+        | Bad (id, msg) -> Proto.error_line ~id msg
+        | Shed id -> Proto.error_line ~id "shed: queue full"
+        | Work (r, arrival) ->
+            if not (deadline_ok arrival r) then
+              Proto.error_line ~id:r.id "deadline exceeded"
+            else begin
+              if r.op = Proto.Shutdown then shutdown := true;
+              match List.assoc (Proto.work_key r) table with
+              | Ok payload -> Proto.ok_line ~id:r.id payload
+              | Error msg -> Proto.error_line ~id:r.id msg
+            end
+      in
+      it.reply line)
+    items;
+  !shutdown
+
+(* ---- stdio transport --------------------------------------------------- *)
+
+let run_lines ?(now = Unix.gettimeofday) ?(config = default_config) ~cache
+    ~pool ~read_line ~write_line () =
+  let rec collect acc n =
+    if n >= config.max_wave then (List.rev acc, true)
+    else
+      match read_line () with
+      | None -> (List.rev acc, false)
+      | Some line when String.trim line = "" -> (List.rev acc, true)
+      | Some line -> (
+          match admit ~now ~queued:n ~config ~reply:write_line line with
+          | None -> collect acc n
+          | Some it -> collect (it :: acc) (n + 1))
+  in
+  let rec loop () =
+    let items, more = collect [] 0 in
+    let shutdown =
+      if items = [] then false else exec_wave ~now ~cache ~pool items
+    in
+    if more && not shutdown then loop ()
+  in
+  loop ()
+
+(* ---- unix-domain-socket transport -------------------------------------- *)
+
+type client = { fd : Unix.file_descr; buf : Buffer.t; mutable closed : bool }
+
+let client_reply c line =
+  if not c.closed then
+    let payload = Bytes.of_string (line ^ "\n") in
+    try
+      let n = Bytes.length payload in
+      let rec push off =
+        if off < n then
+          push (off + Unix.write c.fd payload off (n - off))
+      in
+      push 0
+    with Unix.Unix_error _ -> c.closed <- true
+
+(* Split complete lines off the front of a client's input buffer. *)
+let take_lines c =
+  let s = Buffer.contents c.buf in
+  let rec go start acc =
+    match String.index_from_opt s start '\n' with
+    | None ->
+        Buffer.clear c.buf;
+        Buffer.add_substring c.buf s start (String.length s - start);
+        List.rev acc
+    | Some i -> go (i + 1) (String.sub s start (i - start) :: acc)
+  in
+  go 0 []
+
+let serve_socket ?(config = default_config) ~cache ~pool ~path () =
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  Unix.bind listen_fd (Unix.ADDR_UNIX path);
+  Unix.listen listen_fd 16;
+  let clients = ref [] in
+  let cleanup () =
+    List.iter
+      (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
+      !clients;
+    (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+    try Unix.unlink path with Unix.Unix_error _ -> ()
+  in
+  let chunk = Bytes.create 4096 in
+  let now = Unix.gettimeofday in
+  Fun.protect ~finally:cleanup @@ fun () ->
+  let rec loop () =
+    let fds = listen_fd :: List.map (fun c -> c.fd) !clients in
+    let readable, _, _ = Unix.select fds [] [] (-1.0) in
+    if List.mem listen_fd readable then begin
+      let fd, _ = Unix.accept listen_fd in
+      clients := !clients @ [ { fd; buf = Buffer.create 256; closed = false } ]
+    end;
+    (* Drain readable clients; every complete line available in this
+       iteration joins the same wave, bounded by admission control. *)
+    let queued = ref 0 in
+    let items = ref [] in
+    List.iter
+      (fun c ->
+        if List.memq c.fd readable then
+          match Unix.read c.fd chunk 0 (Bytes.length chunk) with
+          | 0 -> c.closed <- true
+          | n ->
+              Buffer.add_subbytes c.buf chunk 0 n;
+              List.iter
+                (fun line ->
+                  match
+                    admit ~now ~queued:!queued ~config
+                      ~reply:(client_reply c) line
+                  with
+                  | None -> ()
+                  | Some it ->
+                      incr queued;
+                      items := it :: !items)
+                (take_lines c)
+          | exception Unix.Unix_error _ -> c.closed <- true)
+      !clients;
+    let shutdown =
+      match List.rev !items with
+      | [] -> false
+      | wave -> exec_wave ~now ~cache ~pool wave
+    in
+    List.iter
+      (fun c ->
+        if c.closed then try Unix.close c.fd with Unix.Unix_error _ -> ())
+      !clients;
+    clients := List.filter (fun c -> not c.closed) !clients;
+    if not shutdown then loop ()
+  in
+  loop ()

@@ -1,0 +1,59 @@
+(** The long-lived serve loop: admission, batching, transport.
+
+    Requests are admitted into a bounded queue and executed in {e waves}
+    over one shared {!Hextile_par.Par} pool — the pool and the
+    {!Cache.t} live for the daemon's lifetime; no per-request domain is
+    ever spawned. Within a wave, requests with equal {!Proto.work_key}s
+    are computed once and each receives the same payload; responses are
+    written in request order. Admission control is explicit:
+
+    - a request arriving when the queue already holds [max_queue]
+      requests is {b shed} with an error response (["shed: queue full"]),
+      never silently dropped;
+    - a request whose [timeout_ms] deadline has passed when its wave
+      starts executing is answered with ["deadline exceeded"] instead of
+      being executed (execution itself is not preempted).
+
+    Determinism: the payload of every executed [run]/[tilesize]/
+    [compile] response depends only on the request — not on wave
+    composition, queue state, pool size or cache temperature — so a
+    daemon answer is bit-identical to the one-shot CLI at every
+    [--jobs], cold or warm. *)
+
+module Par = Hextile_par.Par
+
+type config = { max_queue : int; max_wave : int }
+
+val default_config : config
+(** [max_queue = 256], [max_wave = 64]. *)
+
+val run_lines :
+  ?now:(unit -> float) ->
+  ?config:config ->
+  cache:Cache.t ->
+  pool:Par.pool ->
+  read_line:(unit -> string option) ->
+  write_line:(string -> unit) ->
+  unit ->
+  unit
+(** The stdio transport, fully injectable for tests. Lines are read
+    until a blank line (wave delimiter), [max_wave] requests, or end of
+    input ([read_line () = None]); the wave executes and one response
+    line per request is written, in order. Returns on end of input or
+    after answering a [shutdown] request. [now] (default
+    [Unix.gettimeofday]) drives deadline checks. *)
+
+val serve_socket :
+  ?config:config ->
+  cache:Cache.t ->
+  pool:Par.pool ->
+  path:string ->
+  unit ->
+  unit
+(** The Unix-domain-socket transport: a single-threaded [select] loop
+    accepting any number of concurrent clients. All complete lines
+    readable in one loop iteration form a wave (so concurrent clients
+    batch naturally); each client receives exactly its own responses, in
+    its own request order. An existing socket file at [path] is
+    replaced. Returns (closing every connection and removing [path])
+    after answering a [shutdown] request. *)

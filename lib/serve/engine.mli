@@ -1,0 +1,25 @@
+(** Request execution against a {!Cache} context.
+
+    [execute] turns one parsed request into a response payload (the
+    key/value pairs following ["id"]/["ok"] on the wire). The payload of
+    [run], [tilesize] and [compile] requests is {b deterministic}: a
+    pure function of the request, bit-identical whether computed cold,
+    replayed from the cache, or evaluated on any pool domain at any
+    [--jobs] value — which is what lets the daemon cache whole payloads
+    and batch requests freely. [stats]/[ping] payloads describe the
+    server and are exempt.
+
+    [execute] is safe to call from pool worker domains (everything it
+    touches is lock-free); nested parallel combinators degrade to their
+    sequential paths, which the repo-wide determinism contract makes
+    result-identical. *)
+
+val execute :
+  cache:Cache.t ->
+  Proto.request ->
+  ((string * Hextile_obs.Json.t) list, string) result
+
+val grids_hash : Hextile_ir.Stencil.t -> (string, Hextile_ir.Grid.t) Hashtbl.t -> string
+(** FNV-1a (64-bit, hex) over the final grids in declaration order:
+    array name, concrete extents, then every float's bit pattern. The
+    serve-side replacement for diffing whole grids over the wire. *)

@@ -1,0 +1,195 @@
+open Hextile_ir
+
+type canon = Stencil.t
+
+(* ---- FNV-1a, 64-bit ---------------------------------------------------- *)
+
+let fnv_init = 0xCBF29CE484222325L
+let fnv_prime = 0x100000001B3L
+
+let fnv_byte h b =
+  Int64.mul (Int64.logxor h (Int64.of_int (b land 0xFF))) fnv_prime
+
+let fnv_string h s =
+  let h = ref h in
+  String.iter (fun c -> h := fnv_byte !h (Char.code c)) s;
+  (* length-delimit so ("ab","c") and ("a","bc") differ *)
+  fnv_byte !h (String.length s land 0xFF)
+
+let fnv_int h i =
+  let h = ref h in
+  for k = 0 to 7 do
+    h := fnv_byte !h ((i lsr (k * 8)) land 0xFF)
+  done;
+  !h
+
+let fnv_int64 h i =
+  let h = ref h in
+  for k = 0 to 7 do
+    h := fnv_byte !h (Int64.to_int (Int64.shift_right_logical i (k * 8)) land 0xFF)
+  done;
+  !h
+
+let to_hex h = Printf.sprintf "%016Lx" h
+
+(* ---- canonicalization -------------------------------------------------- *)
+
+(* Positional renaming: the i-th parameter/array/statement of the
+   program becomes P<i>/A<i>/S<i>. Positional (rather than
+   first-occurrence) renaming keeps the pass trivially total; programs
+   that permute their declaration lists simply land in different cache
+   entries — a miss, never an error. *)
+let renamings (p : Stencil.t) =
+  let number prefix names =
+    List.mapi (fun i n -> (n, Printf.sprintf "%s%d" prefix i)) names
+  in
+  ( number "P" p.params,
+    number "A" (List.map (fun (a : Stencil.array_decl) -> a.aname) p.arrays),
+    number "S" (List.map (fun (s : Stencil.stmt) -> s.sname) p.stmts) )
+
+let rename tbl n = match List.assoc_opt n tbl with Some n' -> n' | None -> n
+
+(* Canonical names permute parameter order under sorting (P10 < P2
+   lexicographically), so re-sort Affp terms after renaming to keep the
+   representation invariant. *)
+let rename_affp prms (a : Affp.t) =
+  { a with Affp.terms = List.sort compare (List.map (fun (n, c) -> (rename prms n, c)) a.Affp.terms) }
+
+let rename_access arrs shift (a : Stencil.access) =
+  {
+    a with
+    Stencil.array = rename arrs a.Stencil.array;
+    offsets = Array.mapi (fun d o -> o - shift.(d)) a.Stencil.offsets;
+  }
+
+let rec rename_fexpr arrs shift (e : Stencil.fexpr) =
+  match e with
+  | Stencil.Read a -> Stencil.Read (rename_access arrs shift a)
+  | Stencil.Fconst _ -> e
+  | Stencil.Neg e -> Stencil.Neg (rename_fexpr arrs shift e)
+  | Stencil.Bin (op, l, r) ->
+      Stencil.Bin (op, rename_fexpr arrs shift l, rename_fexpr arrs shift r)
+
+(* Offset-normalize one statement: translate the iteration domain by the
+   write access's spatial offsets, so the write lands at offset zero.
+   Statement instance x writing A[x+o] becomes instance x' = x+o writing
+   A[x']; reads at x+r move to x'+(r-o); the domain bounds shift by o.
+   The transformed statement enumerates the same accesses, so dependence
+   structure and tile geometry are unchanged. Time offsets are part of
+   the storage folding and are left alone. *)
+let canon_stmt prms arrs stms (s : Stencil.stmt) =
+  let shift = s.write.Stencil.offsets in
+  let zero = Array.map (fun _ -> 0) shift in
+  {
+    Stencil.sname = rename stms s.sname;
+    lo = Array.mapi (fun d a -> rename_affp prms (Affp.add_const a shift.(d))) s.lo;
+    hi = Array.mapi (fun d a -> rename_affp prms (Affp.add_const a shift.(d))) s.hi;
+    write = { (rename_access arrs zero s.write) with offsets = zero };
+    rhs = rename_fexpr arrs shift s.rhs;
+  }
+
+let canonicalize (p : Stencil.t) =
+  let prms, arrs, stms = renamings p in
+  let canon =
+    {
+      Stencil.name = "";
+      params = List.map (fun n -> rename prms n) p.params;
+      steps = rename_affp prms p.steps;
+      arrays =
+        List.map
+          (fun (a : Stencil.array_decl) ->
+            {
+              a with
+              Stencil.aname = rename arrs a.aname;
+              extents = Array.map (rename_affp prms) a.extents;
+            })
+          p.arrays;
+      stmts = List.map (canon_stmt prms arrs stms) p.stmts;
+    }
+  in
+  (canon, prms)
+
+let equal_canon (a : canon) (b : canon) = a = b
+
+let write_offsets (p : Stencil.t) =
+  List.map
+    (fun (s : Stencil.stmt) -> Array.to_list s.write.Stencil.offsets)
+    p.stmts
+
+let canon_env renaming env =
+  List.sort compare
+    (List.filter_map
+       (fun (n, v) ->
+         Option.map (fun n' -> (n', v)) (List.assoc_opt n renaming))
+       env)
+
+(* ---- hashing ----------------------------------------------------------- *)
+
+(* Flat constructor-tagged serialization of the canonical form. Every
+   variant gets a distinct tag byte and variable-length sequences are
+   length-delimited, so distinct canonical forms serialize distinctly. *)
+let hash (p : canon) =
+  let h = ref fnv_init in
+  let tag t = h := fnv_byte !h t in
+  let int i = h := fnv_int !h i in
+  let str s = h := fnv_string !h s in
+  let affp (a : Affp.t) =
+    tag 1;
+    int a.Affp.const;
+    int (List.length a.Affp.terms);
+    List.iter
+      (fun (n, c) ->
+        str n;
+        int c)
+      a.Affp.terms
+  in
+  let access (a : Stencil.access) =
+    tag 2;
+    str a.Stencil.array;
+    int a.Stencil.time_off;
+    int (Array.length a.Stencil.offsets);
+    Array.iter int a.Stencil.offsets
+  in
+  let rec fexpr = function
+    | Stencil.Read a ->
+        tag 3;
+        access a
+    | Stencil.Fconst f ->
+        tag 4;
+        h := fnv_int64 !h (Int64.bits_of_float f)
+    | Stencil.Neg e ->
+        tag 5;
+        fexpr e
+    | Stencil.Bin (op, l, r) ->
+        tag 6;
+        tag (match op with Stencil.Add -> 0 | Sub -> 1 | Mul -> 2 | Div -> 3);
+        fexpr l;
+        fexpr r
+  in
+  str p.Stencil.name;
+  int (List.length p.params);
+  List.iter str p.params;
+  affp p.steps;
+  int (List.length p.arrays);
+  List.iter
+    (fun (a : Stencil.array_decl) ->
+      str a.aname;
+      int (Array.length a.extents);
+      Array.iter affp a.extents;
+      (match a.fold with
+      | None -> tag 7
+      | Some m ->
+          tag 8;
+          int m))
+    p.arrays;
+  int (List.length p.stmts);
+  List.iter
+    (fun (s : Stencil.stmt) ->
+      str s.sname;
+      int (Array.length s.lo);
+      Array.iter affp s.lo;
+      Array.iter affp s.hi;
+      access s.write;
+      fexpr s.rhs)
+    p.stmts;
+  !h

@@ -1,0 +1,57 @@
+(** Canonical structural hashing of frontend IR.
+
+    Two programs that differ only in naming (program, parameter, array
+    and statement names) and in a per-statement spatial translation of
+    the iteration domain have the same {e canonical form} and therefore
+    the same structural hash. The serve cache uses the hash to address
+    its cross-request entry table so alpha-equivalent requests share the
+    name-independent work (dependence analysis, tile-size search).
+
+    The hash never stands alone: a table hit is verified by comparing
+    canonical forms ({!equal_canon}), so a 64-bit collision degrades to
+    an uncached computation, never to a wrong answer. Name-{e dependent}
+    results (simulated grids — initial grid contents are seeded from
+    array names — and generated code) must additionally be keyed by the
+    original program; the cache layer does this. *)
+
+open Hextile_ir
+
+type canon
+(** A canonical program: names alpha-renamed positionally (params [P0…],
+    arrays [A0…], statements [S0…], program name dropped) and every
+    statement's iteration domain translated so its write access has
+    all-zero spatial offsets. *)
+
+val canonicalize : Stencil.t -> canon * (string * string) list
+(** The canonical form plus the parameter renaming as an
+    [(original, canonical)] association list (for translating request
+    environments into canonical keys). *)
+
+val equal_canon : canon -> canon -> bool
+(** Structural equality of canonical forms — the full-key verification
+    run on every hash hit. *)
+
+val hash : canon -> int64
+(** FNV-1a (64-bit) over a flat serialization of the canonical form. *)
+
+val write_offsets : Stencil.t -> int list list
+(** Per statement, the spatial offsets of the write access — exactly the
+    translation removed by offset normalization. [(canon, write_offsets)]
+    therefore determines the program up to pure renaming: cache values
+    that are renaming-invariant but {e not} translation-invariant (the
+    tile-size choice — per-statement translation changes instance-space
+    dependence distances) key on the pair, not on the canon alone. *)
+
+val canon_env : (string * string) list -> (string * int) list -> (string * int) list
+(** [canon_env renaming env] maps an environment over original parameter
+    names to canonical names, sorted by canonical name. Unknown
+    parameters are dropped (they cannot influence the program). *)
+
+(** {2 FNV-1a primitives} (shared with the response grids-hash) *)
+
+val fnv_init : int64
+val fnv_byte : int64 -> int -> int64
+val fnv_string : int64 -> string -> int64
+val fnv_int : int64 -> int -> int64
+val fnv_int64 : int64 -> int64 -> int64
+val to_hex : int64 -> string

@@ -556,3 +556,32 @@ let pp_choice ppf c =
 let pp_report ppf r =
   Fmt.pf ppf "candidates=%d feasible=%d pruned(infeasible=%d dominated=%d) exact_evals=%d"
     r.candidates r.feasible r.pruned_infeasible r.pruned_dominated r.exact_evals
+
+(* The CLI's candidate grid, factored here so `hextile tilesize` and the
+   serve daemon search the identical space: a request answered by the
+   daemon must be bit-identical to the one-shot command. *)
+type spec = {
+  h_candidates : int list;
+  w0_candidates : int list;
+  wi_candidates : int list list;
+  shared_mem_floats : int;
+  require_multiple : int;
+}
+
+let default_spec prog =
+  let dims = Stencil.spatial_dims prog in
+  {
+    h_candidates = [ 1; 2; 3; 5 ];
+    w0_candidates = [ 2; 4; 7; 8 ];
+    wi_candidates =
+      List.init (dims - 1) (fun d ->
+          if d = dims - 2 then [ 32; 64 ] else [ 4; 6; 10 ]);
+    shared_mem_floats = 48 * 1024 / 4;
+    require_multiple = (if dims > 1 then 32 else 1);
+  }
+
+let select_spec ?pool prog (s : spec) =
+  select_with_report ?pool prog ~h_candidates:s.h_candidates
+    ~w0_candidates:s.w0_candidates ~wi_candidates:s.wi_candidates
+    ~shared_mem_floats:s.shared_mem_floats ~require_multiple:s.require_multiple
+    ()

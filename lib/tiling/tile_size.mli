@@ -97,3 +97,27 @@ val select_exhaustive :
 val pp_stats : stats Fmt.t
 val pp_choice : choice Fmt.t
 val pp_report : report Fmt.t
+
+(** {2 Candidate specification}
+
+    The default candidate grid used by [hextile tilesize] and the serve
+    daemon — one shared definition so a daemon response is bit-identical
+    to the one-shot command. *)
+
+type spec = {
+  h_candidates : int list;
+  w0_candidates : int list;
+  wi_candidates : int list list;
+  shared_mem_floats : int;
+  require_multiple : int;
+}
+
+val default_spec : Stencil.t -> spec
+(** [h ∈ {1,2,3,5}], [w0 ∈ {2,4,7,8}], dimension-based inner widths
+    (innermost {32,64}, others {4,6,10}), a 48 KiB single-precision
+    shared-memory budget, and warp-multiple innermost width for
+    multi-dimensional stencils. *)
+
+val select_spec :
+  ?pool:Hextile_par.Par.pool -> Stencil.t -> spec -> choice option * report
+(** {!select_with_report} over a {!spec}. *)

@@ -17,5 +17,6 @@ let () =
       ("experiments", Test_experiments.suite);
       ("analytic", Test_analytic.suite);
       ("obs", Test_obs.suite);
+      ("serve", Test_serve.suite);
       ("timeline", Test_timeline.suite);
     ]
