@@ -76,7 +76,7 @@ bench-sim:
 # (class-scaled) simulation against the exact engine over the scaled
 # Table 3 suite, then the paper's actual full-size instances
 # (3072^2 x 512 and 384^3 x 128) under a per-instance wall-clock budget
-# (default 300 s; override with HEXTILE_ANALYTIC_BUDGET_S). Fails on
+# (default 120 s; override with HEXTILE_ANALYTIC_BUDGET_S). Fails on
 # any counter/grid divergence, a DRAM error above the documented bound,
 # or a budget overrun. The JSON lands in BENCH_analytic.json.
 bench-analytic:

@@ -360,12 +360,13 @@ let simcmp ~jobs ~quick () =
 (* ---- analytic (hierarchical) simulation benchmark --------------------- *)
 
 (* Per-instance wall-clock budget for the full-size runs. The default is
-   the 5-minute acceptance bound; HEXTILE_ANALYTIC_BUDGET_S can widen it
-   for slow machines without editing the tree. *)
+   the 2-minute acceptance bound (tightened from 5 minutes once the
+   blit/batched-replay epilogue landed); HEXTILE_ANALYTIC_BUDGET_S can
+   widen it for slow machines without editing the tree. *)
 let analytic_budget_s =
   match Option.bind (Sys.getenv_opt "HEXTILE_ANALYTIC_BUDGET_S") float_of_string_opt with
   | Some f when f > 0.0 -> f
-  | _ -> 300.0
+  | _ -> 120.0
 
 (* Two-part witness for the analytic mode. Part 1, divergence check: on
    the scaled Table 3 suite the analytic run must reproduce the exact
@@ -485,6 +486,12 @@ let analytic ~jobs ~quick () =
         prog.name n t wall analytic_budget_s r.Common.blocks_analytic
         r.Common.blocks
         (Common.gstencils_per_s r);
+      Fmt.pr
+        "             epilogue %.1f s (derive %.1f, dram replay %.1f, grid \
+         blits %.1f)  blit_rows=%d replay_lines=%d@."
+        (r.Common.epilogue_ms /. 1000.) (r.Common.derive_ms /. 1000.)
+        (r.Common.dram_ms /. 1000.) (r.Common.grids_ms /. 1000.)
+        r.Common.blit_rows r.Common.replay_lines;
       if wall > analytic_budget_s then
         failwith
           (Fmt.str "analytic: full-size %s took %.1f s, over the %.0f s budget"
@@ -505,6 +512,12 @@ let analytic ~jobs ~quick () =
               ("classes", Json.Int r.Common.classes);
               ("updates", Json.Int r.Common.updates);
               ("gstencils_per_s", Json.Float (Common.gstencils_per_s r));
+              ("epilogue_s", Json.Float (r.Common.epilogue_ms /. 1000.));
+              ("derive_s", Json.Float (r.Common.derive_ms /. 1000.));
+              ("dram_replay_s", Json.Float (r.Common.dram_ms /. 1000.));
+              ("grid_blits_s", Json.Float (r.Common.grids_ms /. 1000.));
+              ("blit_rows", Json.Int r.Common.blit_rows);
+              ("replay_lines", Json.Int r.Common.replay_lines);
               ("result", Experiments.result_json r);
             ] )
         :: !full)

@@ -239,6 +239,16 @@ let analytic_arg =
 
 let run_cmd =
   let run file builtin scheme engine dev n t analytic trace trace_out jobs =
+    if analytic && engine = Common.Ref then begin
+      (* reject rather than silently simulating something else: the
+         analytic mode scales tape-executed streams, which the per-lane
+         reference interpreter does not produce *)
+      Fmt.epr
+        "hextile: --analytic requires --engine tape (the ref interpreter \
+         records no streams to scale)@.";
+      1
+    end
+    else
     with_prog file builtin (fun prog ->
         with_trace trace (fun () ->
             with_trace_out trace_out @@ fun () ->
@@ -264,6 +274,11 @@ let run_cmd =
                 Fmt.pr "%s on %s, N=%d T=%d: %s@." r.scheme prog.name n t
                   (if verify then "verified OK" else "completed (analytic)");
                 Fmt.pr "updates            %d@." r.updates;
+                (* FNV over every grid's bits: one line that makes
+                   cross-jobs bit-identity checkable by diffing stdout
+                   (the CI determinism leg does exactly that) *)
+                Fmt.pr "grids fnv          %s@."
+                  (Hextile_serve.Engine.grids_hash prog r.grids);
                 (if analytic then
                    Fmt.pr "blocks analytic    %d of %d (%d classes)@."
                      r.blocks_analytic r.blocks r.classes);

@@ -25,14 +25,21 @@ let engine_name = function Common.Ref -> "ref" | Common.Tape -> "tape"
    prefix "sim:" followed by space-separated key=value tokens; keys
    are lowercase [a-z0-9_]+, values contain neither spaces nor '=';
    the keys wall_ms, blocks, blocks_memoized, engine, jobs,
-   blocks_analytic and classes are always present, in that order
-   (consumers must tolerate new keys being appended). *)
+   blocks_analytic, classes, epilogue_ms, blit_rows and replay_lines
+   are always present, in that order (consumers must tolerate new keys
+   being appended). blit_rows and replay_lines are deterministic at
+   every jobs value; blit_rows counts bulk-blit row reconstruction
+   wherever it runs (memoized-block replay and the analytic epilogue)
+   while replay_lines is analytic-only; epilogue_ms is wall time (main
+   domain only) and is never part of compared artifacts. *)
 let sim_summary ~wall_s ~jobs ~engine (r : Common.result) =
   Fmt.str
     "sim: wall_ms=%.3f blocks=%d blocks_memoized=%d engine=%s jobs=%d \
-     blocks_analytic=%d classes=%d"
+     blocks_analytic=%d classes=%d epilogue_ms=%.3f blit_rows=%d \
+     replay_lines=%d"
     (1000.0 *. wall_s) r.Common.blocks r.Common.blocks_memoized
     (engine_name engine) jobs r.Common.blocks_analytic r.Common.classes
+    r.Common.epilogue_ms r.Common.blit_rows r.Common.replay_lines
 
 let sizes ~quick (p : Stencil.t) =
   let n2, t2 = if quick then (128, 24) else (256, 48) in
@@ -113,6 +120,16 @@ let verify_result (r : Common.result) prog env =
 
 let run_scheme ?pool ?engine ?analytic ?(verify = true) scheme (prog : Stencil.t)
     env dev =
+  (* The analytic mode memoizes and scales tape-executed streams; under
+     the per-lane reference interpreter there is nothing to scale, and
+     silently degrading to an exact run would misreport what was
+     simulated. Reject the combination loudly instead. *)
+  (match (analytic, engine) with
+  | Some true, Some Common.Ref ->
+      invalid_arg
+        "Experiments.run_scheme: analytic mode requires the tape engine (the \
+         ref interpreter records no streams to scale)"
+  | _ -> ());
   Obs.span "experiments.run_scheme" @@ fun () ->
   Obs.annot "scheme" (Obs.Str (scheme_name scheme));
   Obs.annot "stencil" (Obs.Str prog.name);

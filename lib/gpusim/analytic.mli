@@ -48,3 +48,18 @@ val replay_lines : Sim.t -> int array -> dline:int -> unit
 (** Replay a compressed trace shifted by [dline] lines through the
     shared L2, charging DRAM counters like the exact trace replay. Call
     only from a launch epilogue on the main domain. *)
+
+val compress_lines : int array -> int array
+(** Sorted line-run form of a {!lines_of_stream} trace: reads then
+    writes, each sorted by line and coalesced into maximal consecutive
+    runs, flattened as [(enc, n)] pairs. Computed once per class; the
+    run order (instead of first-touch order) perturbs only the
+    order-of-touch of distinct lines within one block's trace, which the
+    {!dram_error_bound} contract already covers. *)
+
+val replay_line_runs : Sim.t -> int array -> dline:int -> unit
+(** Replay a {!compress_lines} trace shifted by [dline] lines through
+    the shared L2 with one {!L2.access_run} probe per run — per-line
+    cache and DRAM-counter semantics identical to {!replay_lines}, in
+    run order. Counts the probed lines toward
+    [sim.analytic_replay_lines]. Main-domain only (launch epilogue). *)

@@ -64,6 +64,46 @@ let access t ~addr ~write =
   let c = access_code t ~addr ~write in
   { hit = c land hit_bit <> 0; writeback = c land writeback_bit <> 0 }
 
+(* Run-length probe for the batched compressed-trace replay: touch [n]
+   consecutive lines starting at [line0] and return the aggregate
+   [(hits lsl run_shift) lor writebacks]. Per-line semantics are exactly
+   [access_code] — consecutive lines land in consecutive sets, so the
+   loop is a tight walk with one tag-divide per line and no per-line
+   record or closure. *)
+let run_shift = 24
+
+let access_run t ~line0 ~n ~write =
+  if n < 0 || n >= 1 lsl run_shift then
+    invalid_arg "L2.access_run: n out of range";
+  let hits = ref 0 and wbs = ref 0 in
+  for l = line0 to line0 + n - 1 do
+    let si = l mod t.sets in
+    let set = t.tags.(si) and dirty = t.dirty.(si) in
+    let tag = l / t.sets in
+    let i = find_way set tag t.assoc 0 in
+    if i >= 0 then begin
+      let d = dirty.(i) in
+      for j = i downto 1 do
+        set.(j) <- set.(j - 1);
+        dirty.(j) <- dirty.(j - 1)
+      done;
+      set.(0) <- tag;
+      dirty.(0) <- d || write;
+      incr hits
+    end
+    else begin
+      let victim_dirty = set.(t.assoc - 1) >= 0 && dirty.(t.assoc - 1) in
+      for j = t.assoc - 1 downto 1 do
+        set.(j) <- set.(j - 1);
+        dirty.(j) <- dirty.(j - 1)
+      done;
+      set.(0) <- tag;
+      dirty.(0) <- write;
+      if victim_dirty then incr wbs
+    end
+  done;
+  (!hits lsl run_shift) lor !wbs
+
 (* plain nested loops: the simulator resets a (small) per-block L1
    through here once per block, so closure-per-set iteration would put
    hundreds of words of garbage on every block boundary *)

@@ -21,6 +21,16 @@ val access_code : t -> addr:int -> write:bool -> int
     [hit_bit lor writeback_bit] bits. The simulator's per-transaction
     hot paths use this form so a cache probe allocates nothing. *)
 
+val run_shift : int
+
+val access_run : t -> line0:int -> n:int -> write:bool -> int
+(** Touch [n] consecutive lines starting at line [line0] (line =
+    byte address / line size) with per-line semantics identical to
+    {!access_code}, returning the aggregate
+    [(hits lsl run_shift) lor writebacks]. The batched DRAM replay's
+    probe: one call per compressed-trace line run instead of a record
+    per line. [n] must be in [0, 2^run_shift). *)
+
 val flush : t -> int
 (** Evict everything; returns the number of dirty lines written back. *)
 

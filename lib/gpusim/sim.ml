@@ -15,6 +15,14 @@ type t = {
   blocks_analytic : int Atomic.t;
       (** blocks retired by analytic class scaling, never instanced *)
   tile_classes : int Atomic.t;  (** tile classes enumerated by analytic mode *)
+  analytic_blit_rows : int Atomic.t;
+      (** recorded compute rows retired through coalesced bulk runs *)
+  analytic_replay_lines : int Atomic.t;
+      (** L2 line probes issued by the batched compressed-trace replay *)
+  mutable analytic_epilogue_s : float;  (** total epilogue wall time *)
+  mutable analytic_derive_s : float;  (** …counter-derivation stage *)
+  mutable analytic_dram_s : float;  (** …sequential L2 replay stage *)
+  mutable analytic_grids_s : float;  (** …grid reconstruction stage *)
 }
 
 and launch = {
@@ -43,6 +51,12 @@ let create (dev : Device.t) =
     blocks_memoized = Atomic.make 0;
     blocks_analytic = Atomic.make 0;
     tile_classes = Atomic.make 0;
+    analytic_blit_rows = Atomic.make 0;
+    analytic_replay_lines = Atomic.make 0;
+    analytic_epilogue_s = 0.0;
+    analytic_derive_s = 0.0;
+    analytic_dram_s = 0.0;
+    analytic_grids_s = 0.0;
   }
 
 (* ---- parallel-execution shadows ---------------------------------------- *)

@@ -39,6 +39,20 @@ type t = {
   tile_classes : int Atomic.t;
       (** tile classes enumerated by the analytic mode, summed over
           launches *)
+  analytic_blit_rows : int Atomic.t;
+      (** recorded compute rows retired through coalesced bulk runs by
+          the analytic epilogue's grid reconstruction (the [blit_rows]
+          summary key) — deterministic at every jobs value *)
+  analytic_replay_lines : int Atomic.t;
+      (** L2 line probes issued by the batched compressed-trace DRAM
+          replay (the [replay_lines] summary key) *)
+  mutable analytic_epilogue_s : float;
+      (** analytic epilogue wall time, summed over launches (main
+          domain only; nondeterministic — never part of compared
+          artifacts) *)
+  mutable analytic_derive_s : float;  (** …its counter-derivation stage *)
+  mutable analytic_dram_s : float;  (** …its sequential L2 replay stage *)
+  mutable analytic_grids_s : float;  (** …its grid reconstruction stage *)
 }
 
 and launch = {

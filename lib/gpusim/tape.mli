@@ -63,3 +63,53 @@ val exec :
     [bases.(s) + dx .. bases.(s) + dx + n - 1] and
     [out_base .. out_base + n - 1] range is in bounds; [Array.blit]'s own
     checks backstop that invariant. *)
+
+(** {2 Fused run plans}
+
+    The analytic epilogue replays compute rows once per derived block —
+    billions of lanes on the paper's full-size instances — so the
+    per-lane constant of {!exec} (a scratch pass per source blit, per
+    instruction and per result blit) is the simulation's dominant cost.
+    A {!plan} is the tape peephole-compiled into fused superinstructions
+    (left-assoc sum windows, constant-factor multiplies, [a - k*b],
+    [k1*a + k2*b]) that read sources directly from the grids, keep
+    single-use intermediates in scratch-free fusion, and write the
+    result straight to the output grid.
+
+    Plans are bit-exact: each superinstruction performs exactly the
+    float operations of the instruction subsequence it replaces, on the
+    same operands in the same per-lane order — fusion removes memory
+    materializations, never arithmetic — so [exec_plan] and a {!exec}
+    loop over the same lanes produce identical IEEE doubles. *)
+
+type plan
+
+val strip : int
+(** Lane width of one fused pass (256): plans chunk a run internally, so
+    callers pass whole rows of any length. *)
+
+val plan : t -> plan
+
+val plan_passes : plan -> int
+(** Fused passes per strip window (diagnostic; compare [length t + nsrcs
+    + 1] scratch passes for {!exec}). *)
+
+val plan_scratch_words : plan -> int
+(** Scratch floats [exec_plan] needs: materialized registers × {!strip}. *)
+
+val exec_plan :
+  plan ->
+  scratch ->
+  datas:float array array ->
+  bases:int array ->
+  dx:int ->
+  n:int ->
+  out:float array ->
+  out_base:int ->
+  unit
+(** Evaluate [n] consecutive lanes (any [n >= 0]): lane [j] reads source
+    [s] at [datas.(s).(bases.(s) + dx + j)] and stores the result to
+    [out.(out_base + j)] — the same addressing contract as {!exec}, but
+    over a whole run instead of one warp. Row endpoints of every source
+    the plan reads and of the output are bounds-checked once up front;
+    the fused loops then run unchecked. *)

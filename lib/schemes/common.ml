@@ -14,6 +14,9 @@ type compiled = {
   tape : Tape.t option;
       (** [None] when row batching would reorder an aliased read/write
           (the per-lane interleaved reference order must be kept) *)
+  tplan : Tape.plan option;
+      (** the tape's fused run plan (compiled alongside it), for the
+          analytic epilogue's bulk row replay *)
   tsrcs : (Grid.t * (int -> int array -> int)) array;
       (** tape sources in register order (= [creads] order) *)
   tdatas : float array array;  (** [tsrcs] data arrays (read-only share) *)
@@ -133,7 +136,8 @@ let compile_tape (s : Stencil.stmt) (wg : Grid.t) =
    compiles each distinct statement once across every request instead of
    once per [make_ctx]. [Tape.t] is immutable (scratch buffers are
    per-domain, not part of the tape), so sharing is sound. *)
-let tape_cache : (Stencil.stmt * int option, Tape.t option) Hextile_par.Oncemap.t
+let tape_cache :
+    (Stencil.stmt * int option, (Tape.t * Tape.plan) option) Hextile_par.Oncemap.t
     =
   Hextile_par.Oncemap.create ~bits:8 ~name:"schemes.tape" ()
 
@@ -172,6 +176,12 @@ let compile_stmt (ctx : ctx) (s : Stencil.stmt) =
                (Grid.find ctx.grids a.array, access_flat ctx.grids a))
              (Stencil.distinct_reads s))
       in
+      let tp =
+        Hextile_par.Oncemap.find_or_compute tape_cache
+          (s, wg.decl.fold)
+          (fun () ->
+            Option.map (fun t -> (t, Tape.plan t)) (compile_tape s wg))
+      in
       let c =
         {
           cidx;
@@ -179,10 +189,8 @@ let compile_stmt (ctx : ctx) (s : Stencil.stmt) =
           cwgrid = wg;
           cwflat = access_flat ctx.grids s.write;
           creads = Array.to_list tsrcs;
-          tape =
-            Hextile_par.Oncemap.find_or_compute tape_cache
-              (s, wg.decl.fold)
-              (fun () -> compile_tape s wg);
+          tape = Option.map fst tp;
+          tplan = Option.map snd tp;
           tsrcs;
           tdatas = Array.map (fun ((g : Grid.t), _) -> g.data) tsrcs;
         }
@@ -241,6 +249,12 @@ type result = {
   blocks_memoized : int;
   blocks_analytic : int;
   classes : int;
+  blit_rows : int;
+  replay_lines : int;
+  epilogue_ms : float;
+  derive_ms : float;
+  dram_ms : float;
+  grids_ms : float;
 }
 
 let finish ctx ~scheme =
@@ -258,6 +272,12 @@ let finish ctx ~scheme =
     blocks_memoized = Atomic.get ctx.sim.blocks_memoized;
     blocks_analytic = Atomic.get ctx.sim.blocks_analytic;
     classes = Atomic.get ctx.sim.tile_classes;
+    blit_rows = Atomic.get ctx.sim.analytic_blit_rows;
+    replay_lines = Atomic.get ctx.sim.analytic_replay_lines;
+    epilogue_ms = 1000.0 *. ctx.sim.analytic_epilogue_s;
+    derive_ms = 1000.0 *. ctx.sim.analytic_derive_s;
+    dram_ms = 1000.0 *. ctx.sim.analytic_dram_s;
+    grids_ms = 1000.0 *. ctx.sim.analytic_grids_s;
   }
 
 let total_time r = r.kernel_time +. r.transfer_time
@@ -407,16 +427,37 @@ let exec_tape_row ctx ~stmt_idx ~wflat ~src_flats ~n =
       ignore (Atomic.fetch_and_add ctx.updates n)
 
 (* Pre-resolved compute rows for the analytic mode's scaled blocks: the
-   per-row tape/grid/base lookups are paid once per tile class, so
-   replaying a member block is nothing but [Tape.exec] calls at a word
-   offset, one scratch fetch and one atomic per block. *)
+   per-row tape/grid/base lookups are paid once per tile class, and
+   adjacent recorded rows that continue each other in memory are
+   coalesced into long runs executed through the statement's fused
+   [Tape.plan] — replaying a member block is a handful of bulk
+   [Tape.exec_plan] calls at a word offset, one scratch fetch and one
+   atomic per block.
+
+   Coalescing is restricted to rows of one (statement, tstep): rows of
+   one statement at one time step write distinct cells and (the tape
+   hazard check guarantees) never read another instance's write slot, so
+   any execution order within the pair is exact. The recorded stream
+   interleaves x-windows of different classical tiles, so contiguous
+   stores are far apart in stream order; [compile_rows] therefore sorts
+   the rows by (tstep, statement, write address) before merging. The
+   sort is a safe schedule: groups run in ascending u = k·tstep + si
+   order, which keeps every producer group before its consumers, and a
+   write from a later group that precedes a read of the same address in
+   stream order cannot exist in a correct execution (the read would have
+   observed a future value), so moving later groups after earlier ones
+   changes no read's value. A sorted row whose write or any source does
+   not continue the previous row exactly (a gapped or non-ascending
+   store pattern, e.g. clipped boundary rows) starts a fresh run — the
+   exact per-row fallback. *)
 type crow = {
-  ctape : Tape.t;
+  cplan : Tape.plan;
   cdatas : float array array;
   cout : float array;
   cwflat : int;
   csrcs : int array;
   cn : int;
+  cmerged : int;  (** recorded rows coalesced into this run *)
 }
 
 type crows = {
@@ -424,46 +465,128 @@ type crows = {
   cregs : int;  (** max register-file words across the rows *)
   cpoints : int;  (** Σ n: statement instances per replay *)
   cinstrs : int;  (** tape instructions per replay, for [sim.tape_instrs] *)
+  cblit : int;
+      (** recorded rows retired through multi-row coalesced runs per
+          replay, for [sim.analytic_blit_rows] *)
+}
+
+type pending_run = {
+  mutable pstmt : int;
+  mutable ptstep : int;
+  mutable pwflat : int;
+  mutable psrcs : int array;
+  mutable pn : int;
+  mutable pmerged : int;
+  mutable pplan : Tape.plan;
+  mutable pdatas : float array array;
+  mutable pout : float array;
 }
 
 let compile_rows ctx rows =
-  let points = ref 0 and instrs = ref 0 and regs = ref 0 in
-  let crows =
-    List.rev_map
-      (fun (stmt_idx, wflat, srcs, n) ->
-        let c = compile_stmt ctx ctx.stmts.(stmt_idx) in
-        match c.tape with
-        | None -> invalid_arg "Common.compile_rows: statement has no tape"
-        | Some tape ->
-            points := !points + n;
-            instrs := !instrs + (Tape.length tape * ((n + Tape.lanes - 1) / Tape.lanes));
-            regs := max !regs (tape.nregs * Tape.lanes);
-            {
-              ctape = tape;
-              cdatas = c.tdatas;
-              cout = c.cwgrid.data;
-              cwflat = wflat;
-              csrcs = srcs;
-              cn = n;
-            })
-      (List.rev rows)
+  let rows = Array.of_list rows in
+  (* ascending (tstep, statement) = ascending u: dependency-safe group
+     order; within a group, ascending write address exposes the
+     contiguous runs. Keys are strict (one write per cell per group), so
+     the sort is a total order. *)
+  Array.sort
+    (fun (s1, t1, w1, _, _) (s2, t2, w2, _, _) ->
+      let c = compare t1 t2 in
+      if c <> 0 then c
+      else
+        let c = compare s1 s2 in
+        if c <> 0 then c else compare w1 w2)
+    rows;
+  let points = ref 0 and instrs = ref 0 and regs = ref 0 and blit = ref 0 in
+  let acc = ref [] in
+  let pending : pending_run option ref = ref None in
+  let close () =
+    match !pending with
+    | None -> ()
+    | Some p ->
+        if p.pmerged > 1 then blit := !blit + p.pmerged;
+        acc :=
+          {
+            cplan = p.pplan;
+            cdatas = p.pdatas;
+            cout = p.pout;
+            cwflat = p.pwflat;
+            csrcs = p.psrcs;
+            cn = p.pn;
+            cmerged = p.pmerged;
+          }
+          :: !acc;
+        pending := None
   in
-  { crows = Array.of_list crows; cregs = !regs; cpoints = !points; cinstrs = !instrs }
+  Array.iter
+    (fun (stmt_idx, tstep, wflat, srcs, n) ->
+      let c = compile_stmt ctx ctx.stmts.(stmt_idx) in
+      match (c.tape, c.tplan) with
+      | Some tape, Some plan ->
+          points := !points + n;
+          instrs :=
+            !instrs + (Tape.length tape * ((n + Tape.lanes - 1) / Tape.lanes));
+          regs := max !regs (Tape.plan_scratch_words plan);
+          let continues =
+            match !pending with
+            | Some p ->
+                p.pstmt = stmt_idx && p.ptstep = tstep
+                && wflat = p.pwflat + p.pn
+                && Array.length srcs = Array.length p.psrcs
+                && (let ok = ref true in
+                    Array.iteri
+                      (fun i s -> if s <> p.psrcs.(i) + p.pn then ok := false)
+                      srcs;
+                    !ok)
+            | None -> false
+          in
+          if continues then begin
+            let p = Option.get !pending in
+            p.pn <- p.pn + n;
+            p.pmerged <- p.pmerged + 1
+          end
+          else begin
+            close ();
+            pending :=
+              Some
+                {
+                  pstmt = stmt_idx;
+                  ptstep = tstep;
+                  pwflat = wflat;
+                  psrcs = srcs;
+                  pn = n;
+                  pmerged = 1;
+                  pplan = plan;
+                  pdatas = c.tdatas;
+                  pout = c.cwgrid.data;
+                }
+          end
+      | _ -> invalid_arg "Common.compile_rows: statement has no tape")
+    rows;
+  close ();
+  {
+    crows = Array.of_list (List.rev !acc);
+    cregs = !regs;
+    cpoints = !points;
+    cinstrs = !instrs;
+    cblit = !blit;
+  }
 
-let exec_rows (ctx : ctx) { crows; cregs; cpoints; cinstrs } ~off =
+let exec_rows (ctx : ctx) { crows; cregs; cpoints; cinstrs; cblit } ~off =
   let regs = get_scratch cregs in
   Array.iter
     (fun r ->
-      let i = ref 0 in
-      while !i < r.cn do
-        let nl = min Tape.lanes (r.cn - !i) in
-        Tape.exec r.ctape regs ~datas:r.cdatas ~bases:r.csrcs ~dx:(off + !i)
-          ~n:nl ~out:r.cout ~out_base:(r.cwflat + off + !i);
-        i := !i + nl
-      done)
+      Tape.exec_plan r.cplan regs ~datas:r.cdatas ~bases:r.csrcs ~dx:off
+        ~n:r.cn ~out:r.cout ~out_base:(r.cwflat + off))
     crows;
   Obs.incr ~by:cinstrs "sim.tape_instrs";
-  ignore (Atomic.fetch_and_add ctx.updates cpoints)
+  ignore (Atomic.fetch_and_add ctx.updates cpoints);
+  if cblit > 0 then begin
+    Obs.incr ~by:cblit "sim.blit_rows";
+    ignore (Atomic.fetch_and_add ctx.sim.Sim.analytic_blit_rows cblit)
+  end
+
+let rows_stats { crows; cblit; _ } =
+  (Array.length crows, Array.fold_left (fun a r -> a + r.cmerged) 0 crows, cblit)
 
 let exec_stmt_row ctx ~stmt ~tstep ~point ~xs ?read_value ?write_value
     ?(count = true) ?loads_subset ~global_reads ~shared_replay

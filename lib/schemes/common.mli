@@ -60,6 +60,22 @@ type result = {
   classes : int;
       (** tile classes enumerated by the analytic mode, summed over
           launches (0 outside analytic mode) *)
+  blit_rows : int;
+      (** recorded compute rows retired through multi-row coalesced
+          (bulk-blit) runs by the analytic epilogue's grid
+          reconstruction; deterministic at every jobs value *)
+  replay_lines : int;
+      (** cache lines probed by the batched DRAM line replay;
+          deterministic at every jobs value *)
+  epilogue_ms : float;
+      (** wall time spent in analytic launch epilogues (derive + DRAM
+          replay + grid blits), main domain only — nondeterministic,
+          never part of compared artifacts *)
+  derive_ms : float;
+      (** epilogue stage breakdown: class prep + counter derivation
+          (parallel); same caveats as [epilogue_ms] *)
+  dram_ms : float;  (** …sequential batched DRAM line replay *)
+  grids_ms : float;  (** …parallel grid blits *)
 }
 
 val finish : ctx -> scheme:string -> result
@@ -172,12 +188,21 @@ val exec_tape_row :
 
 type crows
 (** Pre-resolved compute rows of one tile class: the analytic mode
-    compiles a representative's recorded [Compute] events once and
-    replays every class member as pure [Tape.exec] calls at a word
-    offset (one scratch fetch and one updates-atomic per block). *)
+    compiles a representative's recorded [Compute] events once —
+    coalescing adjacent same-statement same-tstep rows whose write and
+    source bases continue each other exactly into long runs — and
+    replays every class member as bulk fused-plan ([Tape.exec_plan])
+    calls at a word offset (one scratch fetch and one updates-atomic per
+    block). Rows with gapped or non-ascending store patterns (e.g.
+    clipped boundary rows) stay single-row runs: the exact per-row
+    fallback. *)
 
-val compile_rows : ctx -> (int * int * int array * int) list -> crows
-(** [(stmt_idx, wflat, src_flats, n)] per row, in stream order. Takes
+val compile_rows : ctx -> (int * int * int * int array * int) list -> crows
+(** [(stmt_idx, tstep, wflat, src_flats, n)] per row. [tstep] is the
+    row's time-step index (rows of different tsteps may be
+    data-dependent and are never coalesced; rows are re-sorted into the
+    dependency-safe ascending (tstep, statement, write) order
+    internally, so any input order yields the same runs). Takes
     ownership of the [src_flats] arrays. Raises [Invalid_argument] if a
     statement has no tape (recorded streams only contain [Compute]
     events for tape-executed rows). *)
@@ -185,9 +210,15 @@ val compile_rows : ctx -> (int * int * int array * int) list -> crows
 val exec_rows : ctx -> crows -> off:int -> unit
 (** Run every row with [off] added to all flat word bases (write and
     sources), counting the instances toward [ctx.updates] and
-    [sim.tape_instrs]. The caller guarantees the translated rows are in
-    bounds — true for class members, whose exact execution touches the
-    same cells. *)
+    [sim.tape_instrs], and the rows retired through multi-row coalesced
+    runs toward [sim.blit_rows] / [sim.analytic_blit_rows]. The caller
+    guarantees the translated rows are in bounds — true for class
+    members, whose exact execution touches the same cells. Counter
+    effects are bit-identical to per-row 32-lane [Tape.exec] replay. *)
+
+val rows_stats : crows -> int * int * int
+(** [(runs, recorded_rows, blit_rows)] of a compiled class — run-shape
+    introspection for tests. *)
 
 val snapshot : ctx -> (string, float array) Hashtbl.t
 val snapshot_read : (string, float array) Hashtbl.t -> Grid.t -> int -> float

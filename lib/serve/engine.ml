@@ -203,6 +203,13 @@ let execute ~cache (r : Proto.request) =
           let* dev = device_of r.device in
           let* scheme = scheme_of r.scheme in
           let* engine = engine_of r.engine in
+          let* () =
+            if r.analytic && engine = Hextile_schemes.Common.Ref then
+              Error
+                "analytic mode requires the tape engine (the ref interpreter \
+                 records no streams to scale)"
+            else Ok ()
+          in
           let key =
             ( prog,
               env,

@@ -87,13 +87,22 @@ let test_sim_summary_analytic_keys () =
     "keys in contract order"
     [
       "wall_ms"; "blocks"; "blocks_memoized"; "engine"; "jobs";
-      "blocks_analytic"; "classes";
+      "blocks_analytic"; "classes"; "epilogue_ms"; "blit_rows";
+      "replay_lines";
     ]
     (List.map fst kvs);
   Alcotest.(check (option string)) "exact run: blocks_analytic=0" (Some "0")
     (List.assoc_opt "blocks_analytic" kvs);
   Alcotest.(check (option string)) "exact run: classes=0" (Some "0")
     (List.assoc_opt "classes" kvs);
+  (* blit_rows also counts memoized-block bulk replay, so it can be
+     positive outside analytic mode; line replay is analytic-only *)
+  Alcotest.(check (option string))
+    "exact run: blit_rows echoed"
+    (Some (string_of_int exact.Hextile_schemes.Common.blit_rows))
+    (List.assoc_opt "blit_rows" kvs);
+  Alcotest.(check (option string)) "exact run: replay_lines=0" (Some "0")
+    (List.assoc_opt "replay_lines" kvs);
   let analytic =
     E.run_scheme ~analytic:true ~verify:false E.Hybrid Suite.laplacian2d env
       Device.gtx470
@@ -109,7 +118,30 @@ let test_sim_summary_analytic_keys () =
     (List.assoc_opt "classes" kvs);
   Alcotest.(check bool)
     "analytic run scaled blocks" true
-    (analytic.Hextile_schemes.Common.blocks_analytic > 0)
+    (analytic.Hextile_schemes.Common.blocks_analytic > 0);
+  Alcotest.(check (option string))
+    "analytic run: blit_rows echoed"
+    (Some (string_of_int analytic.Hextile_schemes.Common.blit_rows))
+    (List.assoc_opt "blit_rows" kvs);
+  Alcotest.(check (option string))
+    "analytic run: replay_lines echoed"
+    (Some (string_of_int analytic.Hextile_schemes.Common.replay_lines))
+    (List.assoc_opt "replay_lines" kvs);
+  Alcotest.(check bool)
+    "analytic run replayed lines" true
+    (analytic.Hextile_schemes.Common.replay_lines > 0)
+
+(* Analytic mode only makes sense over the tape engine: the ref
+   interpreter records no streams, so there is nothing to scale. The
+   combination is rejected eagerly rather than silently running exact. *)
+let test_analytic_requires_tape_engine () =
+  Alcotest.check_raises "analytic + ref engine rejected"
+    (Invalid_argument
+       "Experiments.run_scheme: analytic mode requires the tape engine (the \
+        ref interpreter records no streams to scale)") (fun () ->
+      ignore
+        (E.run_scheme ~engine:Hextile_schemes.Common.Ref ~analytic:true
+           ~verify:false E.Hybrid Suite.laplacian2d tiny2 Device.gtx470))
 
 let test_verification_catches_corruption () =
   let prog = Suite.heat2d in
@@ -130,6 +162,8 @@ let suite =
     Alcotest.test_case "figure texts render" `Quick test_figures_nonempty;
     Alcotest.test_case "sim summary: analytic contract keys" `Quick
       test_sim_summary_analytic_keys;
+    Alcotest.test_case "analytic requires tape engine" `Quick
+      test_analytic_requires_tape_engine;
     Alcotest.test_case "verification catches corruption" `Quick
       test_verification_catches_corruption;
   ]

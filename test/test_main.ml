@@ -16,6 +16,7 @@ let () =
       ("codegen", Test_codegen.suite);
       ("experiments", Test_experiments.suite);
       ("analytic", Test_analytic.suite);
+      ("blit", Test_blit.suite);
       ("obs", Test_obs.suite);
       ("serve", Test_serve.suite);
       ("timeline", Test_timeline.suite);
